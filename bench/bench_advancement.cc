@@ -1,0 +1,57 @@
+// Experiment B-ADV (Sections 1, 2, 4.3; Theorem 4.2): version advancement
+// is completely asynchronous with user transactions, so it can run
+// frequently without touching user latency. We sweep the advancement
+// period from "never" down to 2ms under a fixed open-loop load.
+//
+// Expected shape: update and read latency are FLAT across the entire
+// sweep (the paper's headline property); staleness falls as advancement
+// gets more frequent; the only extra work is straggler dual-writes and
+// counter-read rounds, both modest.
+#include <cstdio>
+
+#include "bench_util.h"
+
+using namespace threev;
+using namespace threev::bench;
+
+int main() {
+  PrintHeader(
+      "B-ADV: user latency vs advancement period (3V, 8 nodes, open loop)");
+  std::printf("%-12s %10s %10s %10s %10s %12s %8s %10s %8s\n", "period",
+              "upd-p50", "upd-p99", "read-p50", "read-p99", "stale-p50",
+              "#adv", "dualwr", "rounds");
+
+  for (Micros period : {Micros{0}, Micros{200'000}, Micros{50'000},
+                        Micros{20'000}, Micros{10'000}, Micros{5'000},
+                        Micros{2'000}}) {
+    RunConfig config;
+    config.kind = SystemKind::kThreeV;
+    config.num_nodes = 8;
+    config.total_txns = 4000;
+    config.mean_interarrival = 120;
+    config.advance_period = period;
+    config.seed = 42;
+    RunOutcome out = RunExperiment(config);
+    char label[32];
+    if (period == 0) {
+      std::snprintf(label, sizeof(label), "never");
+    } else {
+      std::snprintf(label, sizeof(label), "%lldms",
+                    static_cast<long long>(period / 1000));
+    }
+    std::printf("%-12s %8lldus %8lldus %8lldus %8lldus %10lldus %8lld %10lld %8lld\n",
+                label, static_cast<long long>(out.upd_p50),
+                static_cast<long long>(out.upd_p99),
+                static_cast<long long>(out.read_p50),
+                static_cast<long long>(out.read_p99),
+                static_cast<long long>(out.stale_p50),
+                static_cast<long long>(out.advancements),
+                static_cast<long long>(out.dual_writes),
+                static_cast<long long>(out.quiescence_rounds));
+  }
+  std::printf(
+      "shape: latency columns flat from 'never' to 2ms (Theorem 4.2);\n"
+      "staleness tracks the period; dual-writes stay a tiny fraction of\n"
+      "updates even at the fastest cadence.\n");
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Experiment B-COMP (Section 3.2): aborts are handled by compensating
+// subtransactions that are ordinary members of the transaction tree, so
+// the SAME request/completion counters account for them and version
+// advancement never declares quiescence while compensation traffic is in
+// flight. We sweep the injected abort rate.
+//
+// Expected shape: compensation traffic grows linearly with the abort
+// rate; reads stay perfectly clean at every rate (aborted transactions
+// are invisible by the time a version becomes readable); advancement
+// keeps completing.
+#include <cstdio>
+
+#include "bench_util.h"
+
+using namespace threev;
+using namespace threev::bench;
+
+int main() {
+  PrintHeader(
+      "B-COMP: compensation under injected aborts (3V, 6 nodes, "
+      "advancing every 15ms)");
+  std::printf("%-12s %10s %10s %14s %8s %10s %10s\n", "abort-rate",
+              "committed", "aborted", "compensations", "#adv", "upd-p99",
+              "anomalies");
+
+  for (double rate : {0.0, 0.01, 0.05, 0.2, 0.5}) {
+    RunConfig config;
+    config.kind = SystemKind::kThreeV;
+    config.num_nodes = 6;
+    config.total_txns = 3000;
+    config.mean_interarrival = 150;
+    config.advance_period = 15'000;
+    config.inject_abort_probability = rate;
+    config.read_fraction = 0.3;
+    config.seed = 77;
+    RunOutcome out = RunExperiment(config);
+    std::printf("%11.0f%% %10zu %10zu %14lld %8lld %8lldus %10zu\n",
+                rate * 100, out.committed, out.aborted,
+                static_cast<long long>(out.compensations),
+                static_cast<long long>(out.advancements),
+                static_cast<long long>(out.upd_p99), out.anomalies);
+  }
+  std::printf(
+      "shape: anomalies stay 0 at every abort rate - compensators commute\n"
+      "and are counted by the same counters, so no read version is exposed\n"
+      "until compensation has fully drained.\n");
+  return 0;
+}

@@ -1,0 +1,145 @@
+// Microbenchmarks for the substrate components: versioned store, wire
+// codec, lock manager, counters, histogram, Zipf sampling and the
+// discrete-event loop. These back the per-operation cost figures quoted
+// in EXPERIMENTS.md and act as performance regression tripwires.
+#include <benchmark/benchmark.h>
+
+#include "threev/common/random.h"
+#include "threev/core/counters.h"
+#include "threev/lock/lock_manager.h"
+#include "threev/metrics/histogram.h"
+#include "threev/net/wire.h"
+#include "threev/sim/event_loop.h"
+#include "threev/storage/versioned_store.h"
+
+namespace threev {
+namespace {
+
+void BM_StoreRead(benchmark::State& state) {
+  VersionedStore store;
+  for (int i = 0; i < 1000; ++i) {
+    store.Seed("key" + std::to_string(i), Value{}, 0);
+  }
+  Rng rng(1);
+  for (auto _ : state) {
+    std::string key = "key" + std::to_string(rng.Uniform(1000));
+    benchmark::DoNotOptimize(store.Read(key, 1));
+  }
+}
+BENCHMARK(BM_StoreRead);
+
+void BM_StoreUpdateInPlace(benchmark::State& state) {
+  VersionedStore store;
+  store.Seed("key", Value{}, 0);
+  Operation op = OpAdd("key", 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(store.Update("key", 1, op));
+  }
+}
+BENCHMARK(BM_StoreUpdateInPlace);
+
+void BM_StoreDualVersionUpdate(benchmark::State& state) {
+  VersionedStore store;
+  store.Seed("key", Value{}, 0);
+  (void)store.Update("key", 1, OpAdd("key", 1));
+  (void)store.Update("key", 2, OpAdd("key", 1));
+  Operation op = OpAdd("key", 1);
+  for (auto _ : state) {
+    // Straggler write: lands in versions 1 and 2.
+    benchmark::DoNotOptimize(store.Update("key", 1, op));
+  }
+}
+BENCHMARK(BM_StoreDualVersionUpdate);
+
+void BM_WireEncodeDecode(benchmark::State& state) {
+  Message m;
+  m.type = MsgType::kSubtxnRequest;
+  m.txn = 123456;
+  m.plan.node = 1;
+  for (int i = 0; i < 4; ++i) {
+    m.plan.ops.push_back(OpAdd("bal/entity" + std::to_string(i) + "@1", i));
+  }
+  for (auto _ : state) {
+    std::vector<uint8_t> buf = EncodeMessage(m);
+    auto decoded = DecodeMessage(buf.data(), buf.size());
+    benchmark::DoNotOptimize(decoded);
+  }
+}
+BENCHMARK(BM_WireEncodeDecode);
+
+void BM_LockAcquireReleaseUncontended(benchmark::State& state) {
+  LockManager lm;
+  uint64_t owner = 1;
+  for (auto _ : state) {
+    lm.Acquire("key", LockMode::kCommuteUpdate, owner, [](bool) {});
+    lm.ReleaseAll(owner);
+    ++owner;
+  }
+}
+BENCHMARK(BM_LockAcquireReleaseUncontended);
+
+void BM_LockCompatibleSharing(benchmark::State& state) {
+  LockManager lm;
+  // 16 standing commute holders; each iteration adds + removes one more.
+  for (uint64_t o = 100; o < 116; ++o) {
+    lm.Acquire("key", LockMode::kCommuteUpdate, o, [](bool) {});
+  }
+  uint64_t owner = 1;
+  for (auto _ : state) {
+    lm.Acquire("key", LockMode::kCommuteUpdate, owner, [](bool) {});
+    lm.ReleaseAll(owner);
+    ++owner;
+  }
+}
+BENCHMARK(BM_LockCompatibleSharing);
+
+void BM_CounterIncrement(benchmark::State& state) {
+  CounterTable counters(16);
+  for (auto _ : state) {
+    counters.IncR(1, 3);
+    counters.IncC(1, 3);
+  }
+}
+BENCHMARK(BM_CounterIncrement);
+
+void BM_CounterSnapshot(benchmark::State& state) {
+  CounterTable counters(static_cast<size_t>(state.range(0)));
+  counters.IncR(1, 0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(counters.SnapshotR(1));
+  }
+}
+BENCHMARK(BM_CounterSnapshot)->Arg(4)->Arg(32);
+
+void BM_HistogramRecord(benchmark::State& state) {
+  Histogram h;
+  int64_t v = 1;
+  for (auto _ : state) {
+    h.Record(v);
+    v = (v * 7) % 1'000'000 + 1;
+  }
+}
+BENCHMARK(BM_HistogramRecord);
+
+void BM_ZipfSample(benchmark::State& state) {
+  Rng rng(1);
+  ZipfGenerator zipf(static_cast<uint64_t>(state.range(0)), 0.99);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(zipf.Sample(rng));
+  }
+}
+BENCHMARK(BM_ZipfSample)->Arg(1000)->Arg(100000);
+
+void BM_EventLoopChurn(benchmark::State& state) {
+  EventLoop loop;
+  for (auto _ : state) {
+    loop.ScheduleAfter(1, [] {});
+    loop.Step();
+  }
+}
+BENCHMARK(BM_EventLoopChurn);
+
+}  // namespace
+}  // namespace threev
+
+BENCHMARK_MAIN();

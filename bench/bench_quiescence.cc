@@ -1,0 +1,106 @@
+// Experiment B-QUIESCE (Sections 2.2 / 4.3): the asynchronous two-wave
+// counter read detects termination of the old version without ever
+// touching user transactions. We measure how long a full advancement
+// (phases 1-4) takes - and how many read rounds it needs - as load and
+// the coordinator's polling interval vary.
+//
+// Expected shape: advancement completion time ~= in-flight transaction
+// drain time + a couple of poll intervals; it grows mildly with load
+// (more stragglers to drain) and never blocks user traffic (latency
+// columns stay flat; cross-checked by B-ADV).
+#include <cstdio>
+
+#include "bench_util.h"
+#include "threev/core/cluster.h"
+#include "threev/net/sim_net.h"
+
+using namespace threev;
+using namespace threev::bench;
+
+int main() {
+  PrintHeader("B-QUIESCE: advancement latency vs load (3V, 8 nodes)");
+  std::printf("%-14s %12s %12s %10s %10s %10s\n", "interarrival",
+              "adv-p50", "rounds/adv", "#adv", "upd-p50", "upd-p99");
+  for (Micros interarrival : {Micros{1000}, Micros{500}, Micros{200},
+                              Micros{100}, Micros{50}}) {
+    RunConfig config;
+    config.kind = SystemKind::kThreeV;
+    config.num_nodes = 8;
+    config.total_txns = 3000;
+    config.mean_interarrival = interarrival;
+    config.advance_period = 20'000;
+    config.seed = 11;
+    RunOutcome out = RunExperiment(config);
+    double rounds = out.advancements > 0
+                        ? static_cast<double>(out.quiescence_rounds) /
+                              static_cast<double>(out.advancements)
+                        : 0;
+    std::printf("%12lldus %10lldus %12.1f %10lld %8lldus %8lldus\n",
+                static_cast<long long>(interarrival),
+                static_cast<long long>(out.adv_p50), rounds,
+                static_cast<long long>(out.advancements),
+                static_cast<long long>(out.upd_p50),
+                static_cast<long long>(out.upd_p99));
+  }
+
+  PrintHeader("B-QUIESCE: advancement latency vs poll interval");
+  std::printf("%-14s %12s %12s %10s\n", "poll", "adv-p50", "rounds/adv",
+              "#adv");
+  for (Micros poll : {Micros{500}, Micros{2'000}, Micros{10'000}}) {
+    RunConfig config;
+    config.kind = SystemKind::kThreeV;
+    config.num_nodes = 8;
+    config.total_txns = 2000;
+    config.mean_interarrival = 150;
+    config.advance_period = 20'000;
+    config.seed = 12;
+    config.coordinator_poll = poll;
+    RunOutcome out = RunExperiment(config);
+    double rounds = out.advancements > 0
+                        ? static_cast<double>(out.quiescence_rounds) /
+                              static_cast<double>(out.advancements)
+                        : 0;
+    std::printf("%12lldus %10lldus %12.1f %10lld\n",
+                static_cast<long long>(poll),
+                static_cast<long long>(out.adv_p50), rounds,
+                static_cast<long long>(out.advancements));
+  }
+  std::printf(
+      "shape: detection cost is a handful of two-wave rounds; a finer poll\n"
+      "interval shaves advancement latency at the price of more counter\n"
+      "reads - user latency is untouched either way.\n");
+
+  PrintHeader(
+      "B-QUIESCE: advancement message cost vs cluster size (idle cluster, "
+      "one advancement)");
+  std::printf("%-8s %12s %12s %16s\n", "nodes", "messages", "bytes",
+              "bytes/node");
+  for (size_t nodes : {2, 4, 8, 16, 32, 64}) {
+    Metrics metrics;
+    SimNet net(SimNetOptions{.seed = 2}, &metrics);
+    ClusterOptions options;
+    options.num_nodes = nodes;
+    Cluster cluster(options, &net, &metrics);
+    // One write so version 1 is non-trivially populated, then isolate a
+    // single explicit advancement's traffic.
+    cluster.Submit(0, TxnBuilder(0).Add("x", 1).Build(),
+                   [](const TxnResult&) {});
+    net.loop().Run();
+    int64_t msg0 = metrics.messages_sent.load();
+    int64_t bytes0 = metrics.bytes_sent.load();
+    bool advanced = false;
+    cluster.coordinator().StartAdvancement([&](Status) { advanced = true; });
+    net.loop().RunUntil([&] { return advanced; });
+    int64_t messages = metrics.messages_sent.load() - msg0;
+    int64_t bytes = metrics.bytes_sent.load() - bytes0;
+    std::printf("%-8zu %12lld %12lld %16.0f\n", nodes,
+                static_cast<long long>(messages),
+                static_cast<long long>(bytes),
+                static_cast<double>(bytes) / static_cast<double>(nodes));
+  }
+  std::printf(
+      "shape: per-advancement traffic is O(nodes) messages per phase with\n"
+      "O(nodes)-sized counter replies (O(nodes^2) bytes total) - all of it\n"
+      "off the user transaction path.\n");
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Experiment B-SCALE (claim, Sections 1/8): the 3V algorithm "allows the
+// system to scale to very high transaction rates" because no user
+// transaction ever waits for another node. We sweep the cluster size under
+// a saturating closed-loop telecom workload and compare the four
+// strategies of the paper's introduction.
+//
+// Expected shape: 3V tracks NoCoordination (the no-safety upper bound)
+// within a few percent and scales with nodes; GlobalSync pays two-phase
+// commit round trips and lock queueing on every transaction and falls far
+// behind, with a heavy p99; ManualVersioning is fast but incorrect.
+#include <cstdio>
+
+#include "bench_util.h"
+
+using namespace threev;
+using namespace threev::bench;
+
+int main() {
+  PrintHeader(
+      "B-SCALE: saturation throughput vs cluster size (closed loop, "
+      "concurrency = 16 x nodes)");
+  std::printf("%-6s %-18s %10s %10s %10s %10s %10s %10s\n", "nodes",
+              "strategy", "txn/s", "upd-p50", "upd-p99", "read-p99",
+              "msgs/txn", "anomalies");
+
+  for (size_t nodes : {2, 4, 8, 16, 32}) {
+    for (SystemKind kind :
+         {SystemKind::kThreeV, SystemKind::kGlobalSync, SystemKind::kNoCoord,
+          SystemKind::kManual}) {
+      RunConfig config;
+      config.kind = kind;
+      config.num_nodes = nodes;
+      config.num_entities = 100 * nodes;  // data grows with the cluster
+      config.total_txns = 250 * nodes;
+      config.closed_loop = true;
+      config.concurrency = 16 * nodes;
+      config.advance_period = 25'000;
+      config.seed = 7 + nodes;
+      RunOutcome out = RunExperiment(config);
+      std::printf("%-6zu %-18s %10.0f %8lldus %8lldus %8lldus %10.1f %10zu\n",
+                  nodes, out.name.c_str(), out.throughput,
+                  static_cast<long long>(out.upd_p50),
+                  static_cast<long long>(out.upd_p99),
+                  static_cast<long long>(out.read_p99),
+                  out.messages_per_txn(), out.anomalies);
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "shape: 3V ~= NoCoord throughput at every size (and 0 anomalies);\n"
+      "GlobalSync trails by the 2PC round trips and lock queueing;\n"
+      "anomalies appear only in the unsafe baselines.\n");
+  return 0;
+}

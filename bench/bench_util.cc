@@ -1,0 +1,104 @@
+#include "bench_util.h"
+
+#include <cstdio>
+
+#include "threev/net/sim_net.h"
+#include "threev/verify/checker.h"
+#include "threev/workload/workload.h"
+
+namespace threev {
+namespace bench {
+
+RunOutcome RunExperiment(const RunConfig& config) {
+  Metrics metrics;
+  HistoryRecorder history;
+  SimNet net(SimNetOptions{.seed = config.seed,
+                           .min_delay = config.net_min_delay,
+                           .mean_extra_delay = config.net_mean_extra_delay},
+             &metrics);
+
+  SystemConfig sys_config;
+  sys_config.kind = config.kind;
+  sys_config.num_nodes = config.num_nodes;
+  sys_config.seed = config.seed;
+  sys_config.mixed_workload = config.nc_fraction > 0;
+  sys_config.nc_lock_timeout = config.nc_lock_timeout;
+  sys_config.coordinator_poll_interval = config.coordinator_poll;
+  sys_config.manual_safety_delay = config.manual_safety_delay;
+  sys_config.inject_abort_probability = config.inject_abort_probability;
+  auto system = MakeSystem(sys_config, &net, &metrics,
+                           config.run_checker ? &history : nullptr);
+  if (config.advance_period > 0) {
+    system->EnableAutoAdvance(config.advance_period);
+  }
+
+  WorkloadOptions wopts;
+  wopts.num_nodes = config.num_nodes;
+  wopts.num_entities = config.num_entities;
+  wopts.zipf_theta = config.zipf_theta;
+  wopts.read_fraction = config.read_fraction;
+  wopts.noncommuting_fraction = config.nc_fraction;
+  wopts.fanout = config.fanout;
+  wopts.seed = config.seed * 1000 + 17;
+  WorkloadGenerator gen(wopts);
+
+  if (config.value_padding > 0) {
+    // Seed padded records at their home node (key suffix "@<node>").
+    Value padded;
+    padded.str.assign(config.value_padding, 'x');
+    for (const std::string& key : gen.AllSummaryKeys()) {
+      auto at = key.rfind('@');
+      size_t node = std::stoul(key.substr(at + 1));
+      system->node(node).store().Seed(key, padded, 0);
+    }
+  }
+
+  SimRunStats stats =
+      config.closed_loop
+          ? RunClosedLoopSim(*system, net, gen, config.total_txns,
+                             config.concurrency)
+          : RunOpenLoopSim(*system, net, gen, config.total_txns,
+                           config.mean_interarrival);
+  system->DisableAutoAdvance();
+  net.loop().Run();  // drain cleanups, decisions, a final advancement
+
+  RunOutcome out;
+  out.name = system->name();
+  out.committed = stats.committed;
+  out.aborted = stats.aborted;
+  out.virtual_elapsed = stats.virtual_elapsed;
+  out.throughput = stats.throughput_per_sec();
+  out.upd_p50 = metrics.update_latency.Percentile(50);
+  out.upd_p99 = metrics.update_latency.Percentile(99);
+  out.read_p50 = metrics.read_latency.Percentile(50);
+  out.read_p99 = metrics.read_latency.Percentile(99);
+  out.stale_p50 = metrics.staleness.Percentile(50);
+  out.stale_p99 = metrics.staleness.Percentile(99);
+  out.adv_p50 = metrics.advancement_latency.Percentile(50);
+  out.messages = metrics.messages_sent.load();
+  out.bytes = metrics.bytes_sent.load();
+  out.dual_writes = metrics.dual_version_writes.load();
+  out.copies = metrics.version_copies.load();
+  out.bytes_copied = metrics.bytes_copied.load();
+  out.advancements = metrics.advancements_completed.load();
+  out.quiescence_rounds = metrics.quiescence_rounds.load();
+  out.lock_waits = metrics.lock_waits.load();
+  out.gate_waits = metrics.version_gate_waits.load();
+  out.compensations = metrics.compensations_sent.load();
+  for (size_t n = 0; n < system->num_nodes(); ++n) {
+    out.max_versions = std::max(
+        out.max_versions, system->node(n).store().MaxVersionsObserved());
+  }
+  if (config.run_checker) {
+    CheckResult check = CheckHistory(history.Transactions());
+    out.anomalies = check.total_anomalies();
+  }
+  return out;
+}
+
+void PrintHeader(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+}  // namespace bench
+}  // namespace threev

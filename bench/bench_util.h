@@ -1,0 +1,83 @@
+#ifndef THREEV_BENCH_BENCH_UTIL_H_
+#define THREEV_BENCH_BENCH_UTIL_H_
+
+#include <cstdint>
+#include <string>
+
+#include "threev/baseline/systems.h"
+
+namespace threev {
+namespace bench {
+
+// One experiment run: a workload against one coordination strategy on a
+// simulated network, with everything the experiment tables need extracted
+// into plain numbers.
+struct RunConfig {
+  SystemKind kind = SystemKind::kThreeV;
+  size_t num_nodes = 8;
+  uint64_t seed = 1;
+  uint64_t num_entities = 500;
+  double zipf_theta = 0.9;
+  double read_fraction = 0.2;
+  double nc_fraction = 0.0;
+  size_t fanout = 2;
+  size_t total_txns = 3000;
+  Micros mean_interarrival = 150;
+  // Closed loop: keep `concurrency` transactions in flight instead of
+  // Poisson arrivals (used for saturation-throughput studies).
+  bool closed_loop = false;
+  size_t concurrency = 64;
+  // 0 = no advancement. For kManual this is the period-switch cadence.
+  Micros advance_period = 25'000;
+  Micros manual_safety_delay = 5'000;
+  Micros nc_lock_timeout = 50'000;
+  Micros coordinator_poll = 2'000;
+  double inject_abort_probability = 0.0;
+  // Pre-seed every summary key with this much payload (copy-cost studies).
+  size_t value_padding = 0;
+  // Network model.
+  Micros net_min_delay = 300;
+  Micros net_mean_extra_delay = 200;
+  bool run_checker = true;
+};
+
+struct RunOutcome {
+  std::string name;
+  size_t committed = 0;
+  size_t aborted = 0;
+  Micros virtual_elapsed = 0;
+  double throughput = 0;  // committed / virtual second
+  int64_t upd_p50 = 0, upd_p99 = 0;
+  int64_t read_p50 = 0, read_p99 = 0;
+  int64_t stale_p50 = 0, stale_p99 = 0;
+  int64_t adv_p50 = 0;  // advancement completion latency
+  int64_t messages = 0;
+  int64_t bytes = 0;
+  int64_t dual_writes = 0;
+  int64_t copies = 0;
+  int64_t bytes_copied = 0;
+  int64_t advancements = 0;
+  int64_t quiescence_rounds = 0;
+  int64_t lock_waits = 0;
+  int64_t gate_waits = 0;
+  int64_t compensations = 0;
+  size_t max_versions = 0;
+  size_t anomalies = 0;
+
+  double messages_per_txn() const {
+    size_t n = committed + aborted;
+    return n ? static_cast<double>(messages) / static_cast<double>(n) : 0;
+  }
+};
+
+// Runs the configured workload to completion on a fresh SimNet and
+// returns the digested outcome. Deterministic from the seeds.
+RunOutcome RunExperiment(const RunConfig& config);
+
+// Prints "name: value" rows under a header; helpers for aligned tables.
+void PrintHeader(const std::string& title);
+
+}  // namespace bench
+}  // namespace threev
+
+#endif  // THREEV_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,112 @@
+// The paper's Section 1 motivating example, end to end: a hospital with
+// four departmental accounting systems, patient visits charging several
+// departments at once, balance inquiries, and hourly version advancement.
+//
+// Demonstrates the headline guarantee: an inquiry either sees ALL charges
+// of a visit or none - never a partial bill - while neither updates nor
+// version advancement ever wait for each other.
+//
+// Build & run:  ./build/examples/hospital_billing
+#include <cstdio>
+
+#include "threev/common/random.h"
+#include "threev/core/cluster.h"
+#include "threev/net/sim_net.h"
+#include "threev/verify/checker.h"
+#include "threev/workload/scenarios.h"
+
+using namespace threev;
+
+namespace {
+const char* kDepartments[] = {"radiology", "pediatrics", "cardiology",
+                              "pharmacy"};
+}
+
+int main() {
+  Metrics metrics;
+  HistoryRecorder history;
+  SimNet net(SimNetOptions{.seed = 7}, &metrics);
+
+  ClusterOptions options;
+  options.num_nodes = 4;
+  Cluster cluster(options, &net, &metrics, &history);
+
+  // "Advance versions every hour" - scaled down to every 20 virtual ms.
+  cluster.coordinator().EnableAutoAdvance(20'000);
+
+  Rng rng(2026);
+  uint64_t next_visit_id = 1;
+  size_t done = 0, submitted = 0;
+  int partial_bills = 0;
+  Micros arrival = 0;  // Poisson arrivals spread over ~200 virtual ms
+
+  // Track per-patient expected totals for the final audit.
+  constexpr uint64_t kPatients = 50;
+
+  for (int i = 0; i < 2000; ++i) {
+    arrival += static_cast<Micros>(rng.Exponential(100.0));
+    uint64_t patient = rng.Uniform(kPatients);
+    if (rng.Bernoulli(0.25)) {
+      // A balance inquiry across all departments. Verify all-or-nothing
+      // visibility right in the callback: per visit id, the number of
+      // departments listing it must equal that visit's department count
+      // (encoded in the low bits of the id below).
+      // The front desk queries whichever department the patient walked
+      // into first; that department's node roots the inquiry tree.
+      NodeId origin = static_cast<NodeId>(rng.Uniform(4));
+      std::vector<NodeId> departments;
+      for (NodeId d = 0; d < 4; ++d) departments.push_back((origin + d) % 4);
+      TxnSpec inquiry = MakeHospitalInquiry(patient, departments);
+      net.loop().ScheduleAt(arrival, [&, inquiry, origin] {
+        cluster.Submit(origin, inquiry, [&](const TxnResult& r) {
+          std::map<uint64_t, int> seen;
+          for (const auto& [key, value] : r.reads) {
+            for (uint64_t id : value.ids) seen[id]++;
+          }
+          for (const auto& [id, count] : seen) {
+            int departments = static_cast<int>(id % 8);
+            if (count != departments) ++partial_bills;
+          }
+          ++done;
+        });
+      });
+    } else {
+      // A visit charging 2-3 departments; visit_id encodes the department
+      // count so the inquiry above can verify completeness.
+      int departments = 2 + static_cast<int>(rng.Uniform(2));
+      NodeId first = static_cast<NodeId>(rng.Uniform(4));
+      std::vector<HospitalCharge> charges;
+      for (int d = 0; d < departments; ++d) {
+        charges.push_back({static_cast<NodeId>((first + d) % 4),
+                           rng.UniformRange(20, 400),
+                           kDepartments[(first + d) % 4]});
+      }
+      uint64_t visit_id =
+          (next_visit_id++ << 3) | static_cast<uint64_t>(departments);
+      TxnSpec visit = MakeHospitalVisit(patient, visit_id, charges);
+      net.loop().ScheduleAt(arrival, [&, visit, first] {
+        cluster.Submit(first, visit, [&](const TxnResult&) { ++done; });
+      });
+    }
+    ++submitted;
+  }
+  net.loop().RunUntil([&] { return done >= submitted; });
+
+  std::printf("hospital ran %zu transactions over %lld virtual ms\n",
+              submitted, static_cast<long long>(net.Now() / 1000));
+  std::printf("version advancements: %lld (reads lag <= one period)\n",
+              static_cast<long long>(metrics.advancements_completed.load()));
+  std::printf("partial bills observed by inquiries: %d (must be 0)\n",
+              partial_bills);
+  std::printf("update latency:  %s\n",
+              metrics.update_latency.Summary().c_str());
+  std::printf("inquiry latency: %s\n",
+              metrics.read_latency.Summary().c_str());
+  std::printf("inquiry staleness: %s\n", metrics.staleness.Summary().c_str());
+
+  CheckResult check = CheckHistory(history.Transactions());
+  std::printf("history check: %s\n", check.Summary().c_str());
+  Status invariants = cluster.CheckInvariants();
+  std::printf("invariants: %s\n", invariants.ToString().c_str());
+  return (partial_bills == 0 && check.ok() && invariants.ok()) ? 0 : 1;
+}

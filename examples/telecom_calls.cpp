@@ -1,0 +1,65 @@
+// AT&T-style call recording (the paper's original motivation): calls
+// traverse several switches, each leg is recorded where it happened, and
+// billing queries must never see half a call.
+//
+// This example runs the SAME workload under all four coordination
+// strategies from the paper's introduction and prints a side-by-side
+// comparison: throughput, latency, staleness, and billing anomalies.
+//
+// Build & run:  ./build/examples/telecom_calls
+#include <cstdio>
+
+#include "threev/baseline/systems.h"
+#include "threev/net/sim_net.h"
+#include "threev/verify/checker.h"
+#include "threev/workload/workload.h"
+
+using namespace threev;
+
+int main() {
+  std::printf(
+      "%-18s %10s %10s %10s %12s %10s\n", "strategy", "txn/s", "p50-upd",
+      "p99-upd", "staleness", "anomalies");
+
+  for (SystemKind kind :
+       {SystemKind::kThreeV, SystemKind::kGlobalSync, SystemKind::kNoCoord,
+        SystemKind::kManual}) {
+    Metrics metrics;
+    HistoryRecorder history;
+    SimNet net(SimNetOptions{.seed = 99, .min_delay = 300,
+                             .mean_extra_delay = 200},
+               &metrics);
+    SystemConfig config;
+    config.kind = kind;
+    config.num_nodes = 8;
+    config.seed = 99;
+    config.manual_safety_delay = 5'000;
+    auto system = MakeSystem(config, &net, &metrics, &history);
+    system->EnableAutoAdvance(25'000);
+
+    WorkloadOptions wopts;
+    wopts.num_nodes = 8;
+    wopts.num_entities = 500;  // subscribers
+    wopts.read_fraction = 0.2;
+    wopts.fanout = 3;  // a call touches three switches
+    wopts.seed = 5;
+    WorkloadGenerator gen(wopts);
+
+    SimRunStats stats =
+        RunOpenLoopSim(*system, net, gen, 4000, /*mean_interarrival=*/120);
+    CheckResult check = CheckHistory(history.Transactions());
+
+    std::printf("%-18s %10.0f %9lldus %9lldus %10lldus %10zu\n",
+                system->name(), stats.throughput_per_sec(),
+                static_cast<long long>(metrics.update_latency.Percentile(50)),
+                static_cast<long long>(metrics.update_latency.Percentile(99)),
+                static_cast<long long>(metrics.staleness.Percentile(50)),
+                check.total_anomalies());
+  }
+  std::printf(
+      "\n3V matches NoCoord's speed while matching GlobalSync's "
+      "correctness;\nManualVersioning is correct only when its safety delay "
+      "is generous\n(here it is not), and its reads are a full period "
+      "stale.\n");
+  return 0;
+}

@@ -1,0 +1,112 @@
+#include "threev/baseline/manual_versioning.h"
+
+namespace threev {
+
+ManualVersioningSystem::ManualVersioningSystem(
+    const ManualVersioningOptions& options, Network* network,
+    Metrics* metrics, HistoryRecorder* history)
+    : network_(network), safety_delay_(options.safety_delay) {
+  for (size_t i = 0; i < options.num_nodes; ++i) {
+    NodeOptions node_options;
+    node_options.id = static_cast<NodeId>(i);
+    node_options.num_nodes = options.num_nodes;
+    node_options.mode = NodeMode::kPure3V;
+    node_options.read_policy = ReadPolicy::kReadVersion;
+    node_options.version_assignment = VersionAssignment::kLocalPeriod;
+    node_options.seed = options.seed;
+    nodes_.push_back(
+        std::make_unique<Node>(node_options, network, metrics, history));
+    Node* node = nodes_.back().get();
+    network->RegisterEndpoint(
+        node->id(), [node](const Message& m) { node->HandleMessage(m); });
+  }
+  driver_id_ = static_cast<NodeId>(options.num_nodes);
+  // The driver only broadcasts; node acks are accepted and dropped.
+  network->RegisterEndpoint(driver_id_, [](const Message&) {});
+  NodeId client_id = driver_id_ + 1;
+  client_ = std::make_unique<Client>(client_id, network);
+  Client* client = client_.get();
+  network->RegisterEndpoint(
+      client_id, [client](const Message& m) { client->HandleMessage(m); });
+}
+
+uint64_t ManualVersioningSystem::Submit(NodeId origin, const TxnSpec& spec,
+                                        Client::ResultCallback cb) {
+  return client_->Submit(origin, spec, std::move(cb));
+}
+
+void ManualVersioningSystem::SwitchPeriod() {
+  Version new_period, new_readable, gc_below;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    new_period = ++period_;
+    new_readable = readable_ + 1;  // becomes readable after safety delay
+    gc_below = new_readable >= 1 ? new_readable - 1 : 0;
+  }
+  for (auto& node : nodes_) {
+    Message m;
+    m.type = MsgType::kStartAdvancement;
+    m.from = driver_id_;
+    m.version = new_period;
+    network_->Send(node->id(), std::move(m));
+  }
+  // After the conservative delay, hope all stragglers finished and expose
+  // the closed period to readers. No quiescence check - this is the point.
+  network_->ScheduleAfter(safety_delay_, [this, new_readable, gc_below] {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (new_readable > readable_) readable_ = new_readable;
+    }
+    for (auto& node : nodes_) {
+      Message m;
+      m.type = MsgType::kReadVersionAdvance;
+      m.from = driver_id_;
+      m.version = new_readable;
+      network_->Send(node->id(), std::move(m));
+      if (gc_below > 0) {
+        Message g;
+        g.type = MsgType::kGarbageCollect;
+        g.from = driver_id_;
+        g.version = gc_below;
+        network_->Send(node->id(), std::move(g));
+      }
+    }
+  });
+}
+
+void ManualVersioningSystem::EnableAutoAdvance(Micros period) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (auto_enabled_) {
+      auto_period_ = period;
+      return;
+    }
+    auto_enabled_ = true;
+    auto_period_ = period;
+  }
+  ScheduleAutoTick();
+}
+
+void ManualVersioningSystem::DisableAutoAdvance() {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto_enabled_ = false;
+}
+
+void ManualVersioningSystem::ScheduleAutoTick() {
+  Micros period;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!auto_enabled_) return;
+    period = auto_period_;
+  }
+  network_->ScheduleAfter(period, [this] {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!auto_enabled_) return;
+    }
+    SwitchPeriod();
+    ScheduleAutoTick();
+  });
+}
+
+}  // namespace threev

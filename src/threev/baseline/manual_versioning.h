@@ -1,0 +1,76 @@
+#ifndef THREEV_BASELINE_MANUAL_VERSIONING_H_
+#define THREEV_BASELINE_MANUAL_VERSIONING_H_
+
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "threev/core/cluster.h"
+#include "threev/core/node.h"
+#include "threev/metrics/metrics.h"
+#include "threev/net/network.h"
+#include "threev/verify/history.h"
+
+namespace threev {
+
+struct ManualVersioningOptions {
+  size_t num_nodes = 3;
+  // Conservative delay between switching nodes to a new update period and
+  // allowing reads on the previous one ("some time after the month ends,
+  // we hope that all updates have been applied", Section 1). Too small =>
+  // reads see partial transactions; large => extra staleness.
+  Micros safety_delay = 50'000;
+  uint64_t seed = 1;
+};
+
+// The "Manual Versioning" strawman of Section 1: period-based batch
+// versions with an unsynchronized switch and a fixed safety delay before
+// the closed period becomes readable. No quiescence detection, no version
+// inference, no dual writes: a transaction in flight across the switch
+// splits its writes between periods, which is exactly the correctness gap
+// the 3V algorithm closes.
+//
+// Reuses the core Node with VersionAssignment::kLocalPeriod; the "driver"
+// below plays the role of the administrative calendar job.
+class ManualVersioningSystem {
+ public:
+  ManualVersioningSystem(const ManualVersioningOptions& options,
+                         Network* network, Metrics* metrics,
+                         HistoryRecorder* history = nullptr);
+
+  ManualVersioningSystem(const ManualVersioningSystem&) = delete;
+  ManualVersioningSystem& operator=(const ManualVersioningSystem&) = delete;
+
+  size_t num_nodes() const { return nodes_.size(); }
+  Node& node(size_t i) { return *nodes_[i]; }
+  Client& client() { return *client_; }
+
+  uint64_t Submit(NodeId origin, const TxnSpec& spec,
+                  Client::ResultCallback cb);
+
+  // Switches every node to a new update period (unsynchronized broadcast)
+  // and schedules the read-period advance safety_delay later.
+  void SwitchPeriod();
+
+  void EnableAutoAdvance(Micros period);
+  void DisableAutoAdvance();
+
+ private:
+  void ScheduleAutoTick();
+
+  Network* network_;
+  Micros safety_delay_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  std::unique_ptr<Client> client_;
+  NodeId driver_id_;
+
+  std::mutex mu_;
+  Version period_ = 1;   // current accumulation period (= nodes' vu)
+  Version readable_ = 0; // latest readable period (= nodes' vr)
+  bool auto_enabled_ = false;
+  Micros auto_period_ = 0;
+};
+
+}  // namespace threev
+
+#endif  // THREEV_BASELINE_MANUAL_VERSIONING_H_

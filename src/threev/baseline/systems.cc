@@ -1,0 +1,159 @@
+#include "threev/baseline/systems.h"
+
+namespace threev {
+
+const char* SystemKindName(SystemKind kind) {
+  switch (kind) {
+    case SystemKind::kThreeV:
+      return "3V";
+    case SystemKind::kGlobalSync:
+      return "GlobalSync";
+    case SystemKind::kNoCoord:
+      return "NoCoord";
+    case SystemKind::kManual:
+      return "ManualVersioning";
+  }
+  return "?";
+}
+
+namespace {
+
+// kThreeV / kGlobalSync / kNoCoord share the Cluster engine and differ only
+// in node configuration and submission policy.
+class ClusterSystem : public System {
+ public:
+  ClusterSystem(SystemKind kind, const ClusterOptions& options,
+                Network* network, Metrics* metrics, HistoryRecorder* history)
+      : kind_(kind), cluster_(options, network, metrics, history) {}
+
+  uint64_t Submit(NodeId origin, TxnSpec spec,
+                  Client::ResultCallback cb) override {
+    if (kind_ == SystemKind::kGlobalSync) {
+      // Conventional distributed database: everything is a full-fledged
+      // globally synchronized transaction.
+      spec.klass = TxnClass::kNonCommuting;
+    }
+    return cluster_.Submit(origin, spec, std::move(cb));
+  }
+
+  bool Advance() override {
+    if (kind_ != SystemKind::kThreeV) return false;
+    return cluster_.coordinator().StartAdvancement();
+  }
+
+  void EnableAutoAdvance(Micros period) override {
+    if (kind_ == SystemKind::kThreeV) {
+      cluster_.coordinator().EnableAutoAdvance(period);
+    }
+  }
+
+  void DisableAutoAdvance() override {
+    if (kind_ == SystemKind::kThreeV) {
+      cluster_.coordinator().DisableAutoAdvance();
+    }
+  }
+
+  Node& node(size_t i) override { return cluster_.node(i); }
+  size_t num_nodes() const override { return cluster_.num_nodes(); }
+
+  Status CheckInvariants() const override {
+    // NoCoord never advances, so the invariants hold trivially; GlobalSync
+    // shares the same static single-version shape. Check them all.
+    return cluster_.CheckInvariants();
+  }
+
+  const char* name() const override { return SystemKindName(kind_); }
+
+  Cluster& cluster() { return cluster_; }
+
+ private:
+  SystemKind kind_;
+  Cluster cluster_;
+};
+
+class ManualSystem : public System {
+ public:
+  ManualSystem(const ManualVersioningOptions& options, Network* network,
+               Metrics* metrics, HistoryRecorder* history)
+      : system_(options, network, metrics, history) {}
+
+  uint64_t Submit(NodeId origin, TxnSpec spec,
+                  Client::ResultCallback cb) override {
+    return system_.Submit(origin, spec, std::move(cb));
+  }
+
+  bool Advance() override {
+    system_.SwitchPeriod();
+    return true;
+  }
+
+  void EnableAutoAdvance(Micros period) override {
+    system_.EnableAutoAdvance(period);
+  }
+
+  void DisableAutoAdvance() override { system_.DisableAutoAdvance(); }
+
+  Node& node(size_t i) override { return system_.node(i); }
+  size_t num_nodes() const override { return system_.num_nodes(); }
+
+  const char* name() const override {
+    return SystemKindName(SystemKind::kManual);
+  }
+
+ private:
+  ManualVersioningSystem system_;
+};
+
+}  // namespace
+
+std::unique_ptr<System> MakeSystem(const SystemConfig& config,
+                                   Network* network, Metrics* metrics,
+                                   HistoryRecorder* history) {
+  switch (config.kind) {
+    case SystemKind::kThreeV: {
+      ClusterOptions options;
+      options.num_nodes = config.num_nodes;
+      options.mode =
+          config.mixed_workload ? NodeMode::kNC3V : NodeMode::kPure3V;
+      options.read_policy = ReadPolicy::kReadVersion;
+      options.nc_lock_timeout = config.nc_lock_timeout;
+      options.inject_abort_probability = config.inject_abort_probability;
+      options.coordinator_poll_interval = config.coordinator_poll_interval;
+      options.seed = config.seed;
+      return std::make_unique<ClusterSystem>(config.kind, options, network,
+                                             metrics, history);
+    }
+    case SystemKind::kGlobalSync: {
+      ClusterOptions options;
+      options.num_nodes = config.num_nodes;
+      options.mode = NodeMode::kNC3V;
+      options.read_policy = ReadPolicy::kReadVersion;
+      options.nc_lock_timeout = config.nc_lock_timeout;
+      options.coordinator_poll_interval = config.coordinator_poll_interval;
+      options.seed = config.seed;
+      return std::make_unique<ClusterSystem>(config.kind, options, network,
+                                             metrics, history);
+    }
+    case SystemKind::kNoCoord: {
+      ClusterOptions options;
+      options.num_nodes = config.num_nodes;
+      options.mode = NodeMode::kPure3V;
+      options.read_policy = ReadPolicy::kCurrentVersion;
+      options.inject_abort_probability = config.inject_abort_probability;
+      options.seed = config.seed;
+      return std::make_unique<ClusterSystem>(config.kind, options, network,
+                                             metrics, history);
+    }
+    case SystemKind::kManual: {
+      ManualVersioningOptions options;
+      options.num_nodes = config.num_nodes;
+      options.safety_delay = config.manual_safety_delay;
+      options.seed = config.seed;
+      return std::make_unique<ManualSystem>(options, network, metrics,
+                                            history);
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace threev

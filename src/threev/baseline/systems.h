@@ -1,0 +1,77 @@
+#ifndef THREEV_BASELINE_SYSTEMS_H_
+#define THREEV_BASELINE_SYSTEMS_H_
+
+#include <memory>
+#include <string>
+
+#include "threev/baseline/manual_versioning.h"
+#include "threev/core/cluster.h"
+#include "threev/metrics/metrics.h"
+#include "threev/net/network.h"
+#include "threev/verify/history.h"
+
+namespace threev {
+
+// The four coordination strategies the paper's introduction contrasts.
+enum class SystemKind : uint8_t {
+  // The paper's contribution. Pure 3V fast path (no locks) when the
+  // workload is declared all-commuting; NC3V when it is mixed.
+  kThreeV = 0,
+  // "Global Synchronization": every transaction - reads included - runs
+  // distributed strict 2PL plus two-phase commit. Implemented by forcing
+  // every submission through the NC3V non-commuting path.
+  kGlobalSync = 1,
+  // "No Coordination": no versioning, no locks; reads observe in-flight
+  // transactions. Fast and incorrect.
+  kNoCoord = 2,
+  // "Manual Versioning": period-based batch versions, unsynchronized
+  // switch, conservative read delay.
+  kManual = 3,
+};
+
+const char* SystemKindName(SystemKind kind);
+
+struct SystemConfig {
+  SystemKind kind = SystemKind::kThreeV;
+  size_t num_nodes = 4;
+  uint64_t seed = 1;
+  // kThreeV: run nodes in NC3V mode (needed iff the workload submits
+  // non-commuting transactions).
+  bool mixed_workload = false;
+  Micros nc_lock_timeout = 100'000;
+  Micros coordinator_poll_interval = 2000;
+  Micros manual_safety_delay = 50'000;
+  double inject_abort_probability = 0.0;
+};
+
+// Uniform driver facade over the four strategies so workloads and benches
+// are strategy-agnostic.
+class System {
+ public:
+  virtual ~System() = default;
+
+  virtual uint64_t Submit(NodeId origin, TxnSpec spec,
+                          Client::ResultCallback cb) = 0;
+
+  // Requests one version advancement / period switch. Returns false if the
+  // strategy has no advancement concept or one is already running.
+  virtual bool Advance() { return false; }
+  virtual void EnableAutoAdvance(Micros period) { (void)period; }
+  virtual void DisableAutoAdvance() {}
+
+  virtual Node& node(size_t i) = 0;
+  virtual size_t num_nodes() const = 0;
+
+  // Structural invariants; Ok for strategies that make no such claims.
+  virtual Status CheckInvariants() const { return Status::Ok(); }
+
+  virtual const char* name() const = 0;
+};
+
+std::unique_ptr<System> MakeSystem(const SystemConfig& config,
+                                   Network* network, Metrics* metrics,
+                                   HistoryRecorder* history = nullptr);
+
+}  // namespace threev
+
+#endif  // THREEV_BASELINE_SYSTEMS_H_

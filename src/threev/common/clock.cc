@@ -1,0 +1,18 @@
+#include "threev/common/clock.h"
+
+#include <chrono>
+
+namespace threev {
+
+Micros RealClock::Now() const {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+RealClock& RealClock::Instance() {
+  static RealClock& instance = *new RealClock();
+  return instance;
+}
+
+}  // namespace threev

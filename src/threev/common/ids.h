@@ -1,0 +1,37 @@
+#ifndef THREEV_COMMON_IDS_H_
+#define THREEV_COMMON_IDS_H_
+
+#include <cstdint>
+
+namespace threev {
+
+// Identifies a node (site) in the distributed system. Nodes are numbered
+// densely from 0. The advancement coordinator and external clients also get
+// endpoint ids above the node range; see Cluster for the assignment scheme.
+using NodeId = uint32_t;
+
+// A data version number, as in the paper: monotonically increasing, with the
+// node-local invariant vr < vu <= vr + 2. Version 0 is the initial read
+// version; version 1 the initial update version.
+using Version = uint32_t;
+
+// Globally unique transaction identifier (assigned by the submitting
+// endpoint: high bits = endpoint id, low bits = local sequence number).
+using TxnId = uint64_t;
+
+// Globally unique subtransaction identifier within the system (assigned by
+// the node that spawns the subtransaction, same encoding as TxnId).
+using SubtxnId = uint64_t;
+
+// Packs an endpoint-local sequence number into a globally unique id.
+inline uint64_t MakeGlobalId(NodeId endpoint, uint64_t local_seq) {
+  return (static_cast<uint64_t>(endpoint) << 40) | (local_seq & ((1ull << 40) - 1));
+}
+
+inline NodeId GlobalIdEndpoint(uint64_t id) {
+  return static_cast<NodeId>(id >> 40);
+}
+
+}  // namespace threev
+
+#endif  // THREEV_COMMON_IDS_H_

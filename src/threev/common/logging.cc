@@ -1,0 +1,64 @@
+#include "threev/common/logging.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+
+namespace threev {
+
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "D";
+    case LogLevel::kInfo:
+      return "I";
+    case LogLevel::kWarn:
+      return "W";
+    case LogLevel::kError:
+      return "E";
+    case LogLevel::kOff:
+      return "?";
+  }
+  return "?";
+}
+
+// Strips the directory part so log lines stay short.
+const char* Basename(const char* path) {
+  const char* base = path;
+  for (const char* p = path; *p; ++p) {
+    if (*p == '/') base = p + 1;
+  }
+  return base;
+}
+}  // namespace
+
+void SetLogLevel(LogLevel level) { g_level.store(level, std::memory_order_relaxed); }
+LogLevel GetLogLevel() { return g_level.load(std::memory_order_relaxed); }
+
+namespace internal_logging {
+
+void Emit(LogLevel level, const char* file, int line, const std::string& msg) {
+  char buf[1024];
+  int n = std::snprintf(buf, sizeof(buf), "[%s %s:%d] %s\n", LevelName(level),
+                        Basename(file), line, msg.c_str());
+  if (n > 0) {
+    std::fwrite(buf, 1, static_cast<size_t>(n) < sizeof(buf) ? n : sizeof(buf) - 1,
+                stderr);
+  }
+}
+
+FatalLine::FatalLine(const char* file, int line, const char* cond)
+    : file_(file), line_(line) {
+  stream_ << "CHECK failed: " << cond << " ";
+}
+
+FatalLine::~FatalLine() {
+  Emit(LogLevel::kError, file_, line_, stream_.str());
+  std::abort();
+}
+
+}  // namespace internal_logging
+}  // namespace threev

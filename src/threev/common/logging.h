@@ -1,0 +1,80 @@
+#ifndef THREEV_COMMON_LOGGING_H_
+#define THREEV_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace threev {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+// Sets the global log threshold; messages below it are dropped. Thread-safe.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal_logging {
+
+// Emits one formatted line to stderr ("[level file:line] message").
+// Thread-safe (single write() per line).
+void Emit(LogLevel level, const char* file, int line, const std::string& msg);
+
+// Stream collector used by the THREEV_LOG macro.
+class LogLine {
+ public:
+  LogLine(LogLevel level, const char* file, int line)
+      : level_(level), file_(file), line_(line) {}
+  ~LogLine() { Emit(level_, file_, line_, stream_.str()); }
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_logging
+}  // namespace threev
+
+// Usage: THREEV_LOG(kInfo) << "advanced to version " << v;
+#define THREEV_LOG(severity)                                            \
+  if (::threev::LogLevel::severity >= ::threev::GetLogLevel())          \
+  ::threev::internal_logging::LogLine(::threev::LogLevel::severity,     \
+                                      __FILE__, __LINE__)
+
+// Fatal invariant check: aborts the process with a message. Used for
+// protocol invariants whose violation means the library is buggy, never for
+// user input validation (which returns Status).
+#define THREEV_CHECK(cond)                                                  \
+  if (!(cond))                                                              \
+  ::threev::internal_logging::FatalLine(__FILE__, __LINE__, #cond)
+
+namespace threev {
+namespace internal_logging {
+
+class FatalLine {
+ public:
+  FatalLine(const char* file, int line, const char* cond);
+  [[noreturn]] ~FatalLine();
+
+  template <typename T>
+  FatalLine& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_logging
+}  // namespace threev
+
+#endif  // THREEV_COMMON_LOGGING_H_

@@ -1,0 +1,48 @@
+#ifndef THREEV_COMMON_WAIT_GROUP_H_
+#define THREEV_COMMON_WAIT_GROUP_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+namespace threev {
+
+// Counts outstanding work items; Wait() blocks until the count returns to
+// zero. Used by tests and real-threaded drivers to await asynchronous
+// transaction completions.
+class WaitGroup {
+ public:
+  void Add(int delta = 1) {
+    std::lock_guard<std::mutex> lock(mu_);
+    count_ += delta;
+  }
+
+  void Done() {
+    bool notify = false;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (--count_ <= 0) notify = true;
+    }
+    if (notify) cv_.notify_all();
+  }
+
+  void Wait() {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [&] { return count_ <= 0; });
+  }
+
+  // Returns false on timeout.
+  bool WaitFor(std::chrono::milliseconds timeout) {
+    std::unique_lock<std::mutex> lock(mu_);
+    return cv_.wait_for(lock, timeout, [&] { return count_ <= 0; });
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  int count_ = 0;
+};
+
+}  // namespace threev
+
+#endif  // THREEV_COMMON_WAIT_GROUP_H_

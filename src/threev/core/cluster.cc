@@ -1,0 +1,132 @@
+#include "threev/core/cluster.h"
+
+#include <string>
+
+namespace threev {
+
+void Client::HandleMessage(const Message& msg) {
+  if (msg.type != MsgType::kClientResult) return;
+  ResultCallback cb;
+  Micros submit_time = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = inflight_.find(msg.seq);
+    if (it == inflight_.end()) return;
+    cb = std::move(it->second.first);
+    submit_time = it->second.second;
+    inflight_.erase(it);
+  }
+  TxnResult result;
+  result.id = msg.txn;
+  result.status = Status(msg.status_code, msg.status_msg);
+  result.version = msg.version;
+  for (const auto& [key, value] : msg.reads) result.reads[key] = value;
+  result.submit_time = submit_time;
+  result.complete_time = network_->Now();
+  if (cb) cb(result);
+}
+
+uint64_t Client::Submit(NodeId origin, const TxnSpec& spec,
+                        ResultCallback cb) {
+  uint64_t seq;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    seq = next_seq_++;
+    inflight_.emplace(seq, std::make_pair(std::move(cb), network_->Now()));
+  }
+  Message m;
+  m.type = MsgType::kClientSubmit;
+  m.from = id_;
+  m.seq = seq;
+  m.flag = spec.read_only;
+  m.klass = static_cast<uint8_t>(spec.klass);
+  m.plan = spec.root;
+  network_->Send(origin, std::move(m));
+  return seq;
+}
+
+size_t Client::InFlight() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return inflight_.size();
+}
+
+Cluster::Cluster(const ClusterOptions& options, Network* network,
+                 Metrics* metrics, HistoryRecorder* history) {
+  for (size_t i = 0; i < options.num_nodes; ++i) {
+    NodeOptions node_options;
+    node_options.id = static_cast<NodeId>(i);
+    node_options.num_nodes = options.num_nodes;
+    node_options.mode = options.mode;
+    node_options.read_policy = options.read_policy;
+    node_options.nc_lock_timeout = options.nc_lock_timeout;
+    node_options.inject_abort_probability = options.inject_abort_probability;
+    node_options.seed = options.seed;
+    nodes_.push_back(
+        std::make_unique<Node>(node_options, network, metrics, history));
+    Node* node = nodes_.back().get();
+    network->RegisterEndpoint(node->id(),
+                              [node](const Message& m) { node->HandleMessage(m); });
+  }
+
+  CoordinatorOptions coord_options;
+  coord_options.id = coordinator_id();
+  coord_options.num_nodes = options.num_nodes;
+  coord_options.poll_interval = options.coordinator_poll_interval;
+  coordinator_ = std::make_unique<AdvanceCoordinator>(coord_options, network,
+                                                      metrics, history);
+  AdvanceCoordinator* coord = coordinator_.get();
+  network->RegisterEndpoint(
+      coordinator_id(), [coord](const Message& m) { coord->HandleMessage(m); });
+
+  client_ = std::make_unique<Client>(client_id(), network);
+  Client* client = client_.get();
+  network->RegisterEndpoint(
+      client_id(), [client](const Message& m) { client->HandleMessage(m); });
+}
+
+uint64_t Cluster::Submit(NodeId origin, const TxnSpec& spec,
+                         Client::ResultCallback cb) {
+  return client_->Submit(origin, spec, std::move(cb));
+}
+
+Status Cluster::CheckInvariants() const {
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    Version vu = nodes_[i]->vu();
+    Version vr = nodes_[i]->vr();
+    if (!(vr < vu && vu <= vr + 2)) {
+      return Status::Internal("node " + std::to_string(i) +
+                              " violates vr < vu <= vr+2: vr=" +
+                              std::to_string(vr) + " vu=" +
+                              std::to_string(vu));
+    }
+    size_t max_versions = nodes_[i]->store().MaxVersionsObserved();
+    if (max_versions > 3) {
+      return Status::Internal("node " + std::to_string(i) + " held " +
+                              std::to_string(max_versions) +
+                              " simultaneous versions of an item");
+    }
+  }
+  // Property 2(b): nodes differing in one version number agree on the
+  // other. (Sampled pairwise; exact under SimNet where nothing moves
+  // between the reads.)
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    for (size_t j = i + 1; j < nodes_.size(); ++j) {
+      Version vui = nodes_[i]->vu(), vuj = nodes_[j]->vu();
+      Version vri = nodes_[i]->vr(), vrj = nodes_[j]->vr();
+      if (vui != vuj && vri != vrj) {
+        return Status::Internal(
+            "nodes " + std::to_string(i) + "," + std::to_string(j) +
+            " differ in both vu and vr (property 2b violated)");
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+size_t Cluster::TotalPendingSubtxns() const {
+  size_t n = 0;
+  for (const auto& node : nodes_) n += node->PendingSubtxns();
+  return n;
+}
+
+}  // namespace threev

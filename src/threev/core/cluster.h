@@ -1,0 +1,109 @@
+#ifndef THREEV_CORE_CLUSTER_H_
+#define THREEV_CORE_CLUSTER_H_
+
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "threev/common/status.h"
+#include "threev/core/coordinator.h"
+#include "threev/core/node.h"
+#include "threev/metrics/metrics.h"
+#include "threev/net/network.h"
+#include "threev/txn/plan.h"
+#include "threev/verify/history.h"
+
+namespace threev {
+
+// Client endpoint: submits transactions to any node and routes results back
+// to per-request callbacks. Thread-safe; usable from multiple submitter
+// threads under ThreadNet.
+class Client {
+ public:
+  using ResultCallback = std::function<void(const TxnResult&)>;
+
+  Client(NodeId id, Network* network) : id_(id), network_(network) {}
+
+  NodeId id() const { return id_; }
+
+  // Network entry point; register with Network::RegisterEndpoint.
+  void HandleMessage(const Message& msg);
+
+  // Sends `spec` to `origin` for execution; `cb` fires when the system
+  // reports the transaction's outcome. Returns the request id. `origin`
+  // must equal spec.root.node (the root subtransaction executes at the
+  // node it is submitted to); the node rejects mismatches.
+  uint64_t Submit(NodeId origin, const TxnSpec& spec, ResultCallback cb);
+
+  // Routes to spec.root.node.
+  uint64_t Submit(const TxnSpec& spec, ResultCallback cb) {
+    return Submit(spec.root.node, spec, std::move(cb));
+  }
+
+  // Requests whose results have not arrived yet.
+  size_t InFlight() const;
+
+ private:
+  NodeId id_;
+  Network* network_;
+  mutable std::mutex mu_;
+  uint64_t next_seq_ = 1;
+  std::unordered_map<uint64_t, std::pair<ResultCallback, Micros>> inflight_;
+};
+
+struct ClusterOptions {
+  size_t num_nodes = 3;
+  NodeMode mode = NodeMode::kPure3V;
+  ReadPolicy read_policy = ReadPolicy::kReadVersion;
+  Micros nc_lock_timeout = 100'000;
+  double inject_abort_probability = 0.0;
+  Micros coordinator_poll_interval = 2000;
+  uint64_t seed = 1;
+};
+
+// Owns and wires a full 3V deployment on one Network: `num_nodes` database
+// nodes (endpoints 0..n-1), the advancement coordinator (endpoint n) and a
+// default client (endpoint n+1).
+class Cluster {
+ public:
+  Cluster(const ClusterOptions& options, Network* network, Metrics* metrics,
+          HistoryRecorder* history = nullptr);
+
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  size_t num_nodes() const { return nodes_.size(); }
+  Node& node(size_t i) { return *nodes_[i]; }
+  const Node& node(size_t i) const { return *nodes_[i]; }
+  AdvanceCoordinator& coordinator() { return *coordinator_; }
+  Client& client() { return *client_; }
+
+  NodeId coordinator_id() const {
+    return static_cast<NodeId>(nodes_.size());
+  }
+  NodeId client_id() const { return static_cast<NodeId>(nodes_.size()) + 1; }
+
+  // Convenience: submit via the default client.
+  uint64_t Submit(NodeId origin, const TxnSpec& spec,
+                  Client::ResultCallback cb);
+
+  // Verifies the paper's structural invariants (Section 4.4):
+  //   * vr < vu <= vr + 2 on every node;
+  //   * at most 3 simultaneous versions of any item were ever observed;
+  //   * property 2(b): two nodes differing in vu agree on vr & vice versa.
+  Status CheckInvariants() const;
+
+  // Subtransactions whose subtrees are still incomplete, across all nodes.
+  size_t TotalPendingSubtxns() const;
+
+ private:
+  std::vector<std::unique_ptr<Node>> nodes_;
+  std::unique_ptr<AdvanceCoordinator> coordinator_;
+  std::unique_ptr<Client> client_;
+};
+
+}  // namespace threev
+
+#endif  // THREEV_CORE_CLUSTER_H_

@@ -1,0 +1,306 @@
+#include "threev/core/coordinator.h"
+
+#include "threev/common/logging.h"
+
+namespace threev {
+
+AdvanceCoordinator::AdvanceCoordinator(const CoordinatorOptions& options,
+                                       Network* network, Metrics* metrics,
+                                       HistoryRecorder* history)
+    : options_(options),
+      network_(network),
+      metrics_(metrics),
+      history_(history),
+      c_matrix_(options.num_nodes * options.num_nodes, 0),
+      r_matrix_(options.num_nodes * options.num_nodes, 0) {}
+
+bool AdvanceCoordinator::running() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return phase_ != Phase::kIdle;
+}
+
+Version AdvanceCoordinator::vu() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return vu_view_;
+}
+
+Version AdvanceCoordinator::vr() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return vr_view_;
+}
+
+uint64_t AdvanceCoordinator::completed_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return completed_;
+}
+
+uint64_t AdvanceCoordinator::WaveSeq(bool r_wave) const {
+  // Tags a counter-read wave uniquely within an epoch so stale replies
+  // from earlier rounds are discarded.
+  return epoch_ * 1'000'000 + round_ * 2 + (r_wave ? 1 : 0);
+}
+
+bool AdvanceCoordinator::StartAdvancement(DoneCallback done) {
+  Version vu_new;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (phase_ != Phase::kIdle) return false;
+    ++epoch_;
+    phase_ = Phase::kSwitchUpdate;
+    vu_new = vu_view_ + 1;
+    pending_replies_ = options_.num_nodes;
+    done_ = std::move(done);
+    start_time_ = network_->Now();
+  }
+  Broadcast(MsgType::kStartAdvancement, vu_new);
+  return true;
+}
+
+void AdvanceCoordinator::Broadcast(MsgType type, Version version) {
+  uint64_t epoch;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    epoch = epoch_;
+  }
+  for (NodeId n = 0; n < options_.num_nodes; ++n) {
+    Message m;
+    m.type = type;
+    m.from = options_.id;
+    m.version = version;
+    m.seq = epoch;
+    network_->Send(n, std::move(m));
+  }
+}
+
+void AdvanceCoordinator::HandleMessage(const Message& msg) {
+  switch (msg.type) {
+    case MsgType::kStartAdvancementAck: {
+      bool proceed = false;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (phase_ != Phase::kSwitchUpdate || msg.seq != epoch_) return;
+        if (--pending_replies_ == 0) {
+          // Every node now assigns vu_new to new roots; version vu_old can
+          // only shrink. Move to phase 2.
+          vu_view_ += 1;
+          phase_ = Phase::kPhaseOut;
+          check_version_ = vu_view_ - 1;
+          proceed = true;
+        }
+      }
+      if (proceed) BeginRound(vu_view_ - 1);
+      break;
+    }
+    case MsgType::kCounterReadReply:
+      OnCounterReply(msg);
+      break;
+    case MsgType::kReadVersionAdvanceAck: {
+      bool proceed = false;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (phase_ != Phase::kSwitchRead || msg.seq != epoch_) return;
+        if (--pending_replies_ == 0) {
+          vr_view_ += 1;
+          phase_ = Phase::kDrainReads;
+          check_version_ = vr_view_ - 1;
+          proceed = true;
+        }
+      }
+      if (proceed) BeginRound(vr_view_ - 1);
+      break;
+    }
+    case MsgType::kGarbageCollectAck: {
+      bool finished = false;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (phase_ != Phase::kGarbageCollect || msg.seq != epoch_) return;
+        if (--pending_replies_ == 0) finished = true;
+      }
+      if (finished) FinishAdvancement();
+      break;
+    }
+    default:
+      THREEV_LOG(kWarn) << "coordinator: unexpected " << msg.ToString();
+  }
+}
+
+void AdvanceCoordinator::BeginRound(Version version) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++round_;
+    std::fill(c_matrix_.begin(), c_matrix_.end(), 0);
+    std::fill(r_matrix_.begin(), r_matrix_.end(), 0);
+  }
+  SendWave(version, /*r_wave=*/false);
+}
+
+void AdvanceCoordinator::SendWave(Version version, bool r_wave) {
+  uint64_t seq;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    r_wave_ = r_wave;
+    pending_replies_ = options_.num_nodes;
+    seq = WaveSeq(r_wave);
+  }
+  for (NodeId n = 0; n < options_.num_nodes; ++n) {
+    Message m;
+    m.type = MsgType::kCounterRead;
+    m.from = options_.id;
+    m.version = version;
+    m.flag = r_wave;
+    m.seq = seq;
+    network_->Send(n, std::move(m));
+  }
+}
+
+void AdvanceCoordinator::OnCounterReply(const Message& msg) {
+  bool wave_done = false;
+  bool was_r_wave = false;
+  Version version = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (phase_ != Phase::kPhaseOut && phase_ != Phase::kDrainReads) return;
+    if (msg.seq != WaveSeq(r_wave_) || msg.flag != r_wave_) return;
+    size_t n = options_.num_nodes;
+    if (r_wave_) {
+      // msg.counters_r: R(version)[msg.from][q] for every q.
+      for (const auto& [q, count] : msg.counters_r) {
+        if (q < n) r_matrix_[msg.from * n + q] = count;
+      }
+    } else {
+      // msg.counters_c: C(version)[o][msg.from] for every o.
+      for (const auto& [o, count] : msg.counters_c) {
+        if (o < n) c_matrix_[o * n + msg.from] = count;
+      }
+    }
+    if (--pending_replies_ == 0) {
+      wave_done = true;
+      was_r_wave = r_wave_;
+      version = check_version_;
+    }
+  }
+  if (!wave_done) return;
+  if (!was_r_wave) {
+    // Wave 1 complete; only now may wave 2 start (the strict ordering the
+    // soundness argument depends on).
+    SendWave(version, /*r_wave=*/true);
+    return;
+  }
+  EvaluateRound();
+}
+
+void AdvanceCoordinator::EvaluateRound() {
+  bool quiescent = true;
+  Version version;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    size_t n = options_.num_nodes;
+    for (size_t i = 0; i < n * n && quiescent; ++i) {
+      if (r_matrix_[i] != c_matrix_[i]) quiescent = false;
+    }
+    version = check_version_;
+    if (metrics_ != nullptr) {
+      metrics_->quiescence_rounds.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  if (quiescent) {
+    AdvancePhase();
+    return;
+  }
+  // Try again after a beat; user transactions keep flowing meanwhile.
+  network_->ScheduleAfter(options_.poll_interval,
+                          [this, version] { BeginRound(version); });
+}
+
+void AdvanceCoordinator::AdvancePhase() {
+  Phase phase;
+  Version vr_new = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    phase = phase_;
+    if (phase == Phase::kPhaseOut) {
+      // Version vu_old is consistent across all nodes: expose it to reads.
+      phase_ = Phase::kSwitchRead;
+      vr_new = vr_view_ + 1;
+      pending_replies_ = options_.num_nodes;
+      read_switch_time_ = network_->Now();
+    } else if (phase == Phase::kDrainReads) {
+      // All queries on vr_old have terminated: garbage-collect.
+      phase_ = Phase::kGarbageCollect;
+      vr_new = vr_view_;
+      pending_replies_ = options_.num_nodes;
+    }
+  }
+  if (phase == Phase::kPhaseOut) {
+    Broadcast(MsgType::kReadVersionAdvance, vr_new);
+  } else if (phase == Phase::kDrainReads) {
+    Broadcast(MsgType::kGarbageCollect, vr_new);
+  }
+}
+
+void AdvanceCoordinator::FinishAdvancement() {
+  DoneCallback done;
+  Micros start, read_switch;
+  Version vu_new;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    phase_ = Phase::kIdle;
+    ++completed_;
+    done = std::move(done_);
+    done_ = nullptr;
+    start = start_time_;
+    read_switch = read_switch_time_;
+    vu_new = vu_view_;
+  }
+  Micros now = network_->Now();
+  if (metrics_ != nullptr) {
+    metrics_->advancements_completed.fetch_add(1, std::memory_order_relaxed);
+    metrics_->advancement_latency.Record(now - start);
+  }
+  if (history_ != nullptr) {
+    HistoryRecorder::AdvancementRecord rec;
+    rec.new_update_version = vu_new;
+    rec.start_time = start;
+    rec.read_switch_time = read_switch;
+    rec.end_time = now;
+    history_->RecordAdvancement(rec);
+  }
+  if (done) done(Status::Ok());
+}
+
+void AdvanceCoordinator::EnableAutoAdvance(Micros period) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (auto_enabled_) {
+      auto_period_ = period;
+      return;
+    }
+    auto_enabled_ = true;
+    auto_period_ = period;
+  }
+  ScheduleAutoTick();
+}
+
+void AdvanceCoordinator::DisableAutoAdvance() {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto_enabled_ = false;
+}
+
+void AdvanceCoordinator::ScheduleAutoTick() {
+  Micros period;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!auto_enabled_) return;
+    period = auto_period_;
+  }
+  network_->ScheduleAfter(period, [this] {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!auto_enabled_) return;
+    }
+    StartAdvancement();  // no-op if one is already running
+    ScheduleAutoTick();
+  });
+}
+
+}  // namespace threev

@@ -1,0 +1,124 @@
+#ifndef THREEV_CORE_COORDINATOR_H_
+#define THREEV_CORE_COORDINATOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <vector>
+
+#include "threev/common/clock.h"
+#include "threev/common/ids.h"
+#include "threev/common/status.h"
+#include "threev/metrics/metrics.h"
+#include "threev/net/network.h"
+#include "threev/verify/history.h"
+
+namespace threev {
+
+struct CoordinatorOptions {
+  NodeId id = 0;          // endpoint id of the coordinator
+  size_t num_nodes = 1;   // database nodes are endpoints 0..num_nodes-1
+  // Delay between quiescence-check rounds in phases 2 and 4.
+  Micros poll_interval = 2000;
+};
+
+// The version advancement process (Section 4.3). A single instance runs at
+// a time (the paper assumes distributed mutual exclusion; we designate one
+// coordinator, which satisfies the same assumption).
+//
+// Phases:
+//   1. Switch update version: broadcast start-advancement(vu_new); await
+//      acks. After the last ack, no new root can be assigned the old
+//      update version anywhere.
+//   2. Updates phase-out: detect quiescence of version vu_old via the
+//      two-wave asynchronous counter read (below).
+//   3. Switch read version: broadcast read-version(vr_new); await acks.
+//   4. Drain old reads (same quiescence check on vr_old), then broadcast
+//      garbage-collect(vr_new); await acks.
+//
+// Quiescence check (see DESIGN.md section 5 for the soundness argument):
+// wave 1 reads every completion counter C(v)[p][q]; only after all replies
+// arrive does wave 2 read every request counter R(v)[p][q]. If R == C for
+// every ordered pair the version is quiescent; otherwise the coordinator
+// sleeps poll_interval and repeats. Neither wave blocks any user
+// transaction - nodes answer from their local counters.
+class AdvanceCoordinator {
+ public:
+  using DoneCallback = std::function<void(Status)>;
+
+  AdvanceCoordinator(const CoordinatorOptions& options, Network* network,
+                     Metrics* metrics, HistoryRecorder* history = nullptr);
+
+  AdvanceCoordinator(const AdvanceCoordinator&) = delete;
+  AdvanceCoordinator& operator=(const AdvanceCoordinator&) = delete;
+
+  // Network entry point; register with Network::RegisterEndpoint.
+  void HandleMessage(const Message& msg);
+
+  // Kicks off one advancement. Returns false (and does nothing) if one is
+  // already in flight. `done` fires after phase 4 completes.
+  bool StartAdvancement(DoneCallback done = nullptr);
+
+  // Repeatedly advances every `period` (skipping ticks that would overlap
+  // a running advancement). Policy knob from the paper's "desired
+  // solution": advance every hour / after N transactions / on demand.
+  void EnableAutoAdvance(Micros period);
+  void DisableAutoAdvance();
+
+  bool running() const;
+  // Coordinator's view of the versions (authoritative between
+  // advancements, since only the coordinator changes them).
+  Version vu() const;
+  Version vr() const;
+  uint64_t completed_count() const;
+
+ private:
+  enum class Phase {
+    kIdle,
+    kSwitchUpdate,   // phase 1
+    kPhaseOut,       // phase 2
+    kSwitchRead,     // phase 3
+    kDrainReads,     // phase 4 (quiescence part)
+    kGarbageCollect  // phase 4 (gc broadcast part)
+  };
+
+  void Broadcast(MsgType type, Version version);
+  // Starts a quiescence round for `version` (wave 1: completion counters).
+  void BeginRound(Version version);
+  void SendWave(Version version, bool r_wave);
+  void OnCounterReply(const Message& msg);
+  // All replies of the R wave arrived: compare matrices.
+  void EvaluateRound();
+  void AdvancePhase();  // transition after a phase's condition is met
+  void FinishAdvancement();
+  void ScheduleAutoTick();
+  uint64_t WaveSeq(bool r_wave) const;
+
+  CoordinatorOptions options_;
+  Network* network_;
+  Metrics* metrics_;
+  HistoryRecorder* history_;
+
+  mutable std::mutex mu_;
+  Phase phase_ = Phase::kIdle;
+  uint64_t epoch_ = 0;  // one per advancement, tags all messages
+  Version vu_view_ = 1;
+  Version vr_view_ = 0;
+  Version check_version_ = 0;  // version being quiesced in phases 2/4
+  size_t pending_replies_ = 0;
+  uint64_t round_ = 0;
+  bool r_wave_ = false;
+  // Collected matrices, num_nodes x num_nodes, [p][q].
+  std::vector<int64_t> c_matrix_;
+  std::vector<int64_t> r_matrix_;
+  DoneCallback done_;
+  Micros start_time_ = 0;
+  Micros read_switch_time_ = 0;
+  uint64_t completed_ = 0;
+  bool auto_enabled_ = false;
+  Micros auto_period_ = 0;
+};
+
+}  // namespace threev
+
+#endif  // THREEV_CORE_COORDINATOR_H_

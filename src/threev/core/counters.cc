@@ -1,0 +1,76 @@
+#include "threev/core/counters.h"
+
+namespace threev {
+
+CounterTable::Row& CounterTable::RowFor(Version v) {
+  auto it = rows_.find(v);
+  if (it == rows_.end()) {
+    it = rows_.emplace(v, Row{std::vector<int64_t>(num_nodes_, 0),
+                              std::vector<int64_t>(num_nodes_, 0)})
+             .first;
+  }
+  return it->second;
+}
+
+const CounterTable::Row* CounterTable::FindRow(Version v) const {
+  auto it = rows_.find(v);
+  return it == rows_.end() ? nullptr : &it->second;
+}
+
+void CounterTable::IncR(Version v, NodeId to) {
+  std::lock_guard<std::mutex> lock(mu_);
+  RowFor(v).r[to] += 1;
+}
+
+void CounterTable::IncC(Version v, NodeId from) {
+  std::lock_guard<std::mutex> lock(mu_);
+  RowFor(v).c[from] += 1;
+}
+
+int64_t CounterTable::R(Version v, NodeId to) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const Row* row = FindRow(v);
+  return row == nullptr ? 0 : row->r[to];
+}
+
+int64_t CounterTable::C(Version v, NodeId from) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const Row* row = FindRow(v);
+  return row == nullptr ? 0 : row->c[from];
+}
+
+std::vector<std::pair<NodeId, int64_t>> CounterTable::SnapshotR(
+    Version v) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<NodeId, int64_t>> out;
+  const Row* row = FindRow(v);
+  for (NodeId q = 0; q < num_nodes_; ++q) {
+    out.emplace_back(q, row == nullptr ? 0 : row->r[q]);
+  }
+  return out;
+}
+
+std::vector<std::pair<NodeId, int64_t>> CounterTable::SnapshotC(
+    Version v) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<NodeId, int64_t>> out;
+  const Row* row = FindRow(v);
+  for (NodeId o = 0; o < num_nodes_; ++o) {
+    out.emplace_back(o, row == nullptr ? 0 : row->c[o]);
+  }
+  return out;
+}
+
+void CounterTable::DropBelow(Version v) {
+  std::lock_guard<std::mutex> lock(mu_);
+  rows_.erase(rows_.begin(), rows_.lower_bound(v));
+}
+
+std::vector<Version> CounterTable::ActiveVersions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<Version> out;
+  for (const auto& [v, row] : rows_) out.push_back(v);
+  return out;
+}
+
+}  // namespace threev

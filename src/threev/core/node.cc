@@ -1,0 +1,871 @@
+#include "threev/core/node.h"
+
+#include <algorithm>
+#include <atomic>
+
+#include "threev/common/logging.h"
+
+namespace threev {
+
+Node::Node(const NodeOptions& options, Network* network, Metrics* metrics,
+           HistoryRecorder* history)
+    : options_(options),
+      network_(network),
+      metrics_(metrics),
+      history_(history),
+      store_(metrics),
+      counters_(options.num_nodes),
+      vu_(1),
+      vr_(0),
+      rng_(options.seed + options.id * 0x9e3779b9ull) {
+  // Version 0 (the initial read version) was never an update version; it is
+  // "frozen" from the beginning of time for staleness accounting.
+  frozen_time_[0] = 0;
+}
+
+Version Node::vu() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return vu_;
+}
+
+Version Node::vr() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return vr_;
+}
+
+size_t Node::PendingSubtxns() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return pending_.size();
+}
+
+std::string Node::DebugString() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out = "node " + std::to_string(options_.id) +
+                    ": vu=" + std::to_string(vu_) +
+                    " vr=" + std::to_string(vr_) + "\n";
+  for (const auto& [sid, rec] : pending_) {
+    out += "  pending subtxn " + std::to_string(sid) + " txn " +
+           std::to_string(rec.txn) + " v" + std::to_string(rec.version) +
+           (rec.is_root ? " root" : "") + " outstanding=" +
+           std::to_string(rec.outstanding) +
+           " votes=" + std::to_string(rec.votes_pending) +
+           " acks=" + std::to_string(rec.acks_pending) +
+           " status=" + rec.status.ToString() + "\n";
+  }
+  for (const auto& [txn, st] : nc_txns_) {
+    out += "  nc txn " + std::to_string(txn) +
+           " completions=" + std::to_string(st.completions.size()) +
+           (st.failed ? " FAILED" : "") + "\n";
+  }
+  for (const auto& [version, fn] : gate_waiters_) {
+    out += "  gate waiter for v" + std::to_string(version) + "\n";
+  }
+  return out;
+}
+
+SubtxnId Node::NewSubtxnId() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return MakeGlobalId(options_.id, next_subtxn_seq_++);
+}
+
+bool Node::InjectAbort() {
+  if (options_.inject_abort_probability <= 0) return false;
+  std::lock_guard<std::mutex> lock(mu_);
+  return rng_.Bernoulli(options_.inject_abort_probability);
+}
+
+void Node::HandleMessage(const Message& msg) {
+  switch (msg.type) {
+    case MsgType::kClientSubmit:
+      OnClientSubmit(msg);
+      break;
+    case MsgType::kSubtxnRequest:
+      OnSubtxnRequest(msg);
+      break;
+    case MsgType::kCompletionNotice:
+      OnCompletionNotice(msg);
+      break;
+    case MsgType::kStartAdvancement:
+      OnStartAdvancement(msg);
+      break;
+    case MsgType::kCounterRead:
+      OnCounterRead(msg);
+      break;
+    case MsgType::kReadVersionAdvance:
+      OnReadVersionAdvance(msg);
+      break;
+    case MsgType::kGarbageCollect:
+      OnGarbageCollect(msg);
+      break;
+    case MsgType::kPrepare:
+      OnPrepare(msg);
+      break;
+    case MsgType::kVote:
+      OnVote(msg);
+      break;
+    case MsgType::kDecision:
+      OnDecision(msg);
+      break;
+    case MsgType::kDecisionAck:
+      OnDecisionAck(msg);
+      break;
+    case MsgType::kLockCleanup:
+      OnLockCleanup(msg);
+      break;
+    default:
+      THREEV_LOG(kWarn) << "node " << options_.id << ": unexpected "
+                        << msg.ToString();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Submission and subtransaction arrival
+// ---------------------------------------------------------------------------
+
+void Node::OnClientSubmit(const Message& msg) {
+  // The root subtransaction executes here (the tree model's "submitted to
+  // one server"); a plan rooted elsewhere is a client routing error, and
+  // silently reading another node's keys here would corrupt results.
+  if (msg.plan.node != options_.id) {
+    Message m;
+    m.type = MsgType::kClientResult;
+    m.from = options_.id;
+    m.seq = msg.seq;
+    m.status_code = StatusCode::kInvalidArgument;
+    m.status_msg = "plan rooted at node " + std::to_string(msg.plan.node) +
+                   " submitted to node " + std::to_string(options_.id);
+    network_->Send(msg.from, std::move(m));
+    return;
+  }
+  auto ctx = std::make_shared<ExecContext>();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ctx->txn = MakeGlobalId(options_.id, next_txn_seq_++);
+    ctx->subtxn = MakeGlobalId(options_.id, next_subtxn_seq_++);
+  }
+  ctx->source = options_.id;
+  ctx->is_root = true;
+  ctx->read_only = msg.flag;
+  ctx->klass = static_cast<TxnClass>(msg.klass);
+  ctx->plan = msg.plan;
+  ctx->client = msg.from;
+  ctx->client_seq = msg.seq;
+  ctx->submit_time = network_->Now();
+  if (history_ != nullptr) {
+    TxnSpec spec;
+    spec.root = msg.plan;
+    spec.read_only = msg.flag;
+    spec.klass = ctx->klass;
+    history_->RecordSubmit(ctx->txn, spec, ctx->submit_time);
+  }
+  StartSubtxn(std::move(ctx));
+}
+
+void Node::OnSubtxnRequest(const Message& msg) {
+  auto ctx = std::make_shared<ExecContext>();
+  ctx->txn = msg.txn;
+  ctx->subtxn = msg.subtxn;
+  ctx->parent_subtxn = msg.parent_subtxn;
+  ctx->source = msg.from;
+  ctx->version = msg.version;
+  ctx->is_root = false;
+  ctx->read_only = msg.flag;
+  ctx->compensation = msg.seq == 1;
+  ctx->klass = static_cast<TxnClass>(msg.klass);
+  ctx->plan = msg.plan;
+  StartSubtxn(std::move(ctx));
+}
+
+void Node::StartSubtxn(ExecPtr ctx) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (ctx->is_root) {
+      // Section 4.1 step 1 / Section 4.2: a root subtransaction is assigned
+      // the current update (or read) version and counts a local request.
+      if (ctx->read_only && ctx->klass == TxnClass::kWellBehaved) {
+        ctx->version = options_.read_policy == ReadPolicy::kCurrentVersion
+                           ? vu_
+                           : vr_;
+      } else {
+        // Updates - and non-commuting reads (GlobalSync baseline), which
+        // must observe current data under locks - use the update version.
+        ctx->version = vu_;
+      }
+      counters_.IncR(ctx->version, options_.id);
+    } else if (!ctx->read_only) {
+      if (options_.version_assignment == VersionAssignment::kLocalPeriod) {
+        // Manual-versioning baseline: the write lands in whatever period
+        // this node is currently accumulating (see VersionAssignment).
+        ctx->version = vu_;
+      } else if (ctx->version > vu_) {
+        // Section 4.1 step 2: a descendant carrying a newer version than
+        // our current update version doubles as the start-advancement
+        // notification (version inference).
+        AdvanceUpdateVersionLocked(ctx->version);
+        if (metrics_ != nullptr) {
+          metrics_->version_inferences.fetch_add(1,
+                                                 std::memory_order_relaxed);
+        }
+      }
+    }
+  }
+
+  // Fast path: pure 3V mode never locks; well-behaved read-only
+  // transactions never lock in any mode ("read-only transactions ... do
+  // not need to obtain any locks", Section 8). Non-commuting reads exist
+  // only in the GlobalSync baseline, which forces everything through the
+  // locking path below.
+  if (options_.mode == NodeMode::kPure3V ||
+      (ctx->read_only && ctx->klass == TxnClass::kWellBehaved)) {
+    ExecuteBody(std::move(ctx));
+    return;
+  }
+
+  if (ctx->klass == TxnClass::kWellBehaved) {
+    // NC3V mode: well-behaved updates take commuting locks (2PL; released
+    // by the asynchronous clean-up after the whole tree commits).
+    ctx->lock_needs = ComputeLockNeeds(ctx->plan, /*non_commuting=*/false);
+    ExecPtr c = ctx;
+    AcquireNextLock(ctx, [this, c](bool granted) {
+      // Commuting lock requests are only ever cancelled at shutdown.
+      if (granted) ExecuteBody(c);
+    });
+    return;
+  }
+
+  // Non-commuting transaction. A root must pass the version gate first
+  // (Section 5 step 2): proceed only when V(K) == vr + 1, i.e. no version
+  // advancement is in flight for its version.
+  if (ctx->is_root) {
+    bool pass;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      pass = ctx->version == vr_ + 1;
+      if (!pass) {
+        ExecPtr c = ctx;
+        gate_waiters_.emplace_back(ctx->version,
+                                   [this, c] { ProceedNonCommuting(c); });
+      }
+    }
+    if (pass) {
+      ProceedNonCommuting(std::move(ctx));
+    } else if (metrics_ != nullptr) {
+      metrics_->version_gate_waits.fetch_add(1, std::memory_order_relaxed);
+    }
+    return;
+  }
+  ProceedNonCommuting(std::move(ctx));
+}
+
+void Node::ProceedNonCommuting(ExecPtr ctx) {
+  ctx->lock_needs = ComputeLockNeeds(ctx->plan, /*non_commuting=*/true);
+  ctx->lock_wait_start = network_->Now();
+
+  // Deadlocks among non-commuting transactions (and against held commute
+  // locks) are resolved by timeout-abort. The timeout re-arms until the
+  // lock phase resolves: a single-shot timer could fire in the window
+  // between two acquisitions of the chain (nothing queued to cancel) and
+  // leave the next wait unbounded - a deadlock enabler under heavy
+  // message reordering.
+  if (!ctx->lock_needs.empty()) {
+    ArmLockTimeout(ctx);
+  }
+
+  ExecPtr c = ctx;
+  AcquireNextLock(ctx, [this, c](bool granted) {
+    if (granted) {
+      ExecuteBodyNC(c);
+      return;
+    }
+    // Lock timeout: this subtransaction aborts; the root will decide abort
+    // for the whole transaction in 2PC. Locks already held stay until the
+    // decision (strict 2PL).
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      NcTxnState& st = nc_txns_[c->txn];
+      st.failed = true;
+      st.completions.emplace_back(c->version, c->source);
+    }
+    FinishExecution(c, Status::Aborted("lock wait timeout"), {}, {});
+  });
+}
+
+void Node::ArmLockTimeout(ExecPtr ctx) {
+  ExecPtr c = std::move(ctx);
+  network_->ScheduleAfter(options_.nc_lock_timeout, [this, c] {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (c->lock_done) return;
+    }
+    locks_.CancelWaits(c->txn);
+    // Keep watching until the lock phase resolves: the cancel may have hit
+    // nothing (between acquisitions) or only a sibling subtransaction's
+    // wait; the next fire exits once lock_done is set.
+    ArmLockTimeout(c);
+  });
+}
+
+void Node::AcquireNextLock(ExecPtr ctx, std::function<void(bool)> done) {
+  size_t i;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (ctx->lock_done) return;  // already failed (cancelled)
+    i = ctx->next_lock;
+  }
+  if (i >= ctx->lock_needs.size()) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ctx->lock_done = true;
+    }
+    done(true);
+    return;
+  }
+  const auto& [key, mode] = ctx->lock_needs[i];
+  Micros t0 = network_->Now();
+  auto returned = std::make_shared<std::atomic<bool>>(false);
+  ExecPtr c = ctx;
+  locks_.Acquire(key, mode, ctx->txn,
+                 [this, c, done, t0, returned](bool granted) {
+                   if (returned->load(std::memory_order_acquire) &&
+                       metrics_ != nullptr) {
+                     // Deferred grant: the subtransaction actually waited.
+                     metrics_->lock_waits.fetch_add(1,
+                                                    std::memory_order_relaxed);
+                     metrics_->lock_wait_micros.fetch_add(
+                         network_->Now() - t0, std::memory_order_relaxed);
+                   }
+                   if (!granted) {
+                     {
+                       std::lock_guard<std::mutex> lock(mu_);
+                       c->lock_done = true;
+                     }
+                     done(false);
+                     return;
+                   }
+                   {
+                     std::lock_guard<std::mutex> lock(mu_);
+                     c->next_lock++;
+                   }
+                   AcquireNextLock(c, done);
+                 });
+  returned->store(true, std::memory_order_release);
+}
+
+std::vector<std::pair<std::string, LockMode>> Node::ComputeLockNeeds(
+    const SubtxnPlan& plan, bool non_commuting) {
+  std::map<std::string, LockMode> needs;
+  for (const auto& op : plan.ops) {
+    LockMode mode;
+    if (OpWrites(op.kind)) {
+      mode = non_commuting ? LockMode::kNCWrite : LockMode::kCommuteUpdate;
+    } else {
+      mode = non_commuting ? LockMode::kNCRead : LockMode::kCommuteRead;
+    }
+    auto it = needs.find(op.key);
+    if (it == needs.end()) {
+      needs.emplace(op.key, mode);
+    } else if (LockSubsumes(mode, it->second)) {
+      it->second = mode;
+    }
+  }
+  // std::map iteration is key-sorted: deterministic acquisition order
+  // avoids local deadlocks between subtransactions of the same node.
+  return {needs.begin(), needs.end()};
+}
+
+// ---------------------------------------------------------------------------
+// Execution bodies
+// ---------------------------------------------------------------------------
+
+void Node::ExecuteBody(ExecPtr ctx) {
+  std::map<std::string, Value> reads;
+  for (const auto& op : ctx->plan.ops) {
+    if (op.kind == OpKind::kGet) {
+      // Read the maximum existing version not exceeding V(T); a key that
+      // does not exist yet reads as an empty record (recording semantics).
+      Result<Value> r = store_.Read(op.key, ctx->version);
+      reads[op.key] = r.ok() ? std::move(r).value() : Value{};
+    } else if (op.kind == OpKind::kScan) {
+      for (auto& [key, value] : store_.ScanPrefix(op.key, ctx->version)) {
+        reads[key] = std::move(value);
+      }
+    } else {
+      store_.Update(op.key, ctx->version, op);
+    }
+  }
+
+  std::vector<SubtxnId> spawned;
+  spawned.reserve(ctx->plan.children.size());
+  for (const auto& child : ctx->plan.children) {
+    spawned.push_back(SpawnChild(ctx, child, ctx->compensation));
+  }
+
+  // Failure injection (root update subtransactions only): abort after
+  // executing and spawning, roll back local effects via inverse operations
+  // and send compensating subtransactions down every child branch
+  // (Section 3.2). Compensators are ordinary subtransactions: they bump
+  // the same R/C counters, which is exactly what keeps the advancement
+  // quiescence check honest while compensation traffic is in flight.
+  if (ctx->is_root && !ctx->read_only && !ctx->compensation &&
+      InjectAbort()) {
+    for (auto it = ctx->plan.ops.rbegin(); it != ctx->plan.ops.rend(); ++it) {
+      Operation inv;
+      if (it->kind != OpKind::kGet && it->Invert(inv)) {
+        store_.Update(inv.key, ctx->version, inv);
+      }
+    }
+    for (const auto& child : ctx->plan.children) {
+      Result<SubtxnPlan> comp = MakeCompensationPlan(child);
+      if (comp.ok()) {
+        spawned.push_back(SpawnChild(ctx, *comp, /*compensation=*/true));
+        if (metrics_ != nullptr) {
+          metrics_->compensations_sent.fetch_add(1,
+                                                 std::memory_order_relaxed);
+        }
+      }
+    }
+    FinishExecution(ctx, Status::Aborted("injected abort"),
+                    std::move(spawned), {});
+    return;
+  }
+
+  FinishExecution(ctx, Status::Ok(), std::move(spawned), std::move(reads));
+}
+
+void Node::ExecuteBodyNC(ExecPtr ctx) {
+  std::map<std::string, Value> reads;
+  std::vector<UndoEntry> undo_local;
+  Status failure;
+  for (const auto& op : ctx->plan.ops) {
+    if (op.kind == OpKind::kGet) {
+      Result<Value> r = store_.Read(op.key, ctx->version);
+      reads[op.key] = r.ok() ? std::move(r).value() : Value{};
+      continue;
+    }
+    if (op.kind == OpKind::kScan) {
+      // Scans are rejected by TxnSpec::Validate for non-read-only
+      // transactions; handle defensively as a plain read-out.
+      for (auto& [key, value] : store_.ScanPrefix(op.key, ctx->version)) {
+        reads[key] = std::move(value);
+      }
+      continue;
+    }
+    UndoEntry undo;
+    Status s = store_.UpdateExact(op.key, ctx->version, op, &undo);
+    if (!s.ok()) {
+      // Section 5 step 4: the item exists in a newer version - abort.
+      failure = s;
+      break;
+    }
+    undo_local.push_back(std::move(undo));
+  }
+
+  std::vector<SubtxnId> spawned;
+  if (failure.ok()) {
+    for (const auto& child : ctx->plan.children) {
+      spawned.push_back(SpawnChild(ctx, child, /*compensation=*/false));
+    }
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    NcTxnState& st = nc_txns_[ctx->txn];
+    for (auto& u : undo_local) st.undo.push_back(std::move(u));
+    st.completions.emplace_back(ctx->version, ctx->source);
+    if (!failure.ok()) st.failed = true;
+  }
+
+  FinishExecution(ctx, failure, std::move(spawned), std::move(reads));
+}
+
+SubtxnId Node::SpawnChild(const ExecPtr& ctx, const SubtxnPlan& child,
+                          bool compensation) {
+  SubtxnId sid = NewSubtxnId();
+  // Section 4.1 step 5: increment R(v)[here][target] *before* sending.
+  counters_.IncR(ctx->version, child.node);
+  Message m;
+  m.type = MsgType::kSubtxnRequest;
+  m.from = options_.id;
+  m.txn = ctx->txn;
+  m.subtxn = sid;
+  m.parent_subtxn = ctx->subtxn;
+  m.version = ctx->version;
+  m.flag = ctx->read_only;
+  m.seq = compensation ? 1 : 0;
+  m.klass = static_cast<uint8_t>(ctx->klass);
+  m.plan = child;
+  network_->Send(child.node, std::move(m));
+  return sid;
+}
+
+void Node::FinishExecution(const ExecPtr& ctx, Status status,
+                           std::vector<SubtxnId> spawned,
+                           std::map<std::string, Value> reads) {
+  if (metrics_ != nullptr) {
+    metrics_->subtxns_executed.fetch_add(1, std::memory_order_relaxed);
+  }
+  PendingSubtxn rec;
+  rec.txn = ctx->txn;
+  rec.subtxn = ctx->subtxn;
+  rec.parent_subtxn = ctx->parent_subtxn;
+  rec.source = ctx->source;
+  rec.version = ctx->version;
+  rec.is_root = ctx->is_root;
+  rec.read_only = ctx->read_only;
+  rec.klass = ctx->klass;
+  rec.outstanding = spawned.size();
+  rec.reads = std::move(reads);
+  rec.status = std::move(status);
+  rec.participants.insert(options_.id);
+  rec.client = ctx->client;
+  rec.client_seq = ctx->client_seq;
+  rec.submit_time = ctx->submit_time;
+  if (rec.outstanding == 0) {
+    CompleteSubtxn(std::move(rec));
+    return;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  pending_.emplace(rec.subtxn, std::move(rec));
+}
+
+// ---------------------------------------------------------------------------
+// Hierarchical completion
+// ---------------------------------------------------------------------------
+
+void Node::OnCompletionNotice(const Message& msg) {
+  bool done = false;
+  PendingSubtxn completed;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = pending_.find(msg.parent_subtxn);
+    if (it == pending_.end()) {
+      THREEV_LOG(kWarn) << "node " << options_.id
+                        << ": completion notice for unknown parent subtxn "
+                        << msg.parent_subtxn;
+      return;
+    }
+    PendingSubtxn& rec = it->second;
+    THREEV_CHECK(rec.outstanding > 0);
+    rec.outstanding--;
+    for (const auto& [key, value] : msg.reads) {
+      rec.reads.emplace(key, value);
+    }
+    for (SubtxnId participant : msg.spawned) {
+      rec.participants.insert(static_cast<NodeId>(participant));
+    }
+    if (msg.status_code != StatusCode::kOk && rec.status.ok()) {
+      rec.status = Status(msg.status_code, msg.status_msg);
+    }
+    if (rec.outstanding == 0) {
+      done = true;
+      completed = std::move(rec);
+      pending_.erase(it);
+    }
+  }
+  if (done) CompleteSubtxn(std::move(completed));
+}
+
+void Node::CompleteSubtxn(PendingSubtxn rec) {
+  // Section 4.1 step 6: the completion counter increments when the
+  // subtransaction terminates - which, per the paper's Table 1, is when its
+  // whole subtree has completed. For non-commuting transactions the
+  // increment is deferred to the 2PC decision (Section 5 step 6).
+  if (rec.klass != TxnClass::kNonCommuting) {
+    counters_.IncC(rec.version, rec.source);
+  }
+  if (rec.is_root) {
+    ResolveRoot(std::move(rec));
+    return;
+  }
+  Message m;
+  m.type = MsgType::kCompletionNotice;
+  m.from = options_.id;
+  m.txn = rec.txn;
+  m.subtxn = rec.subtxn;
+  m.parent_subtxn = rec.parent_subtxn;
+  m.version = rec.version;
+  for (const auto& [key, value] : rec.reads) m.reads.emplace_back(key, value);
+  for (NodeId p : rec.participants) {
+    m.spawned.push_back(static_cast<SubtxnId>(p));
+  }
+  m.status_code = rec.status.code();
+  m.status_msg = rec.status.message();
+  network_->Send(rec.source, std::move(m));
+}
+
+void Node::ResolveRoot(PendingSubtxn rec) {
+  if (rec.klass == TxnClass::kWellBehaved) {
+    // Asynchronous commute-lock clean-up (Section 5): only relevant in
+    // NC3V mode and only for update transactions (reads take no locks).
+    if (options_.mode == NodeMode::kNC3V && !rec.read_only) {
+      for (NodeId p : rec.participants) {
+        Message m;
+        m.type = MsgType::kLockCleanup;
+        m.from = options_.id;
+        m.txn = rec.txn;
+        network_->Send(p, std::move(m));
+      }
+    }
+    FinishRoot(rec, rec.status);
+    return;
+  }
+
+  // Non-commuting root: run two-phase commit over the participants.
+  // Presumed abort: if any subtransaction already failed, skip the vote
+  // round and distribute the abort decision directly.
+  std::vector<NodeId> participants(rec.participants.begin(),
+                                   rec.participants.end());
+  TxnId txn = rec.txn;
+  bool prepare = rec.status.ok();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    nc_roots_[txn] = rec.subtxn;
+    if (prepare) {
+      rec.votes_pending = participants.size();
+    } else {
+      rec.commit = false;
+      rec.acks_pending = participants.size();
+    }
+    pending_.emplace(rec.subtxn, std::move(rec));
+  }
+  for (NodeId p : participants) {
+    Message m;
+    m.type = prepare ? MsgType::kPrepare : MsgType::kDecision;
+    m.from = options_.id;
+    m.txn = txn;
+    m.flag = false;  // only meaningful for kDecision: abort
+    network_->Send(p, std::move(m));
+  }
+}
+
+void Node::FinishRoot(PendingSubtxn& rec, Status status) {
+  Micros now = network_->Now();
+  bool committed = status.ok();
+  if (metrics_ != nullptr) {
+    if (committed) {
+      metrics_->txns_committed.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      metrics_->txns_aborted.fetch_add(1, std::memory_order_relaxed);
+    }
+    Micros latency = now - rec.submit_time;
+    if (rec.read_only) {
+      metrics_->read_latency.Record(latency);
+      std::lock_guard<std::mutex> lock(mu_);
+      auto it = frozen_time_.find(rec.version);
+      if (it != frozen_time_.end()) {
+        metrics_->staleness.Record(now - it->second);
+      }
+    } else {
+      metrics_->update_latency.Record(latency);
+    }
+  }
+  if (history_ != nullptr) {
+    history_->RecordComplete(rec.txn, committed, rec.version, rec.reads, now);
+  }
+  Message m;
+  m.type = MsgType::kClientResult;
+  m.from = options_.id;
+  m.txn = rec.txn;
+  m.seq = rec.client_seq;
+  m.version = rec.version;
+  for (const auto& [key, value] : rec.reads) m.reads.emplace_back(key, value);
+  m.status_code = status.code();
+  m.status_msg = status.message();
+  network_->Send(rec.client, std::move(m));
+}
+
+// ---------------------------------------------------------------------------
+// Two-phase commit (NC3V)
+// ---------------------------------------------------------------------------
+
+void Node::OnPrepare(const Message& msg) {
+  bool vote = true;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = nc_txns_.find(msg.txn);
+    if (it != nc_txns_.end() && it->second.failed) vote = false;
+  }
+  Message m;
+  m.type = MsgType::kVote;
+  m.from = options_.id;
+  m.txn = msg.txn;
+  m.flag = vote;
+  network_->Send(msg.from, std::move(m));
+}
+
+void Node::OnVote(const Message& msg) {
+  bool decide = false;
+  bool commit = true;
+  std::vector<NodeId> participants;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto rit = nc_roots_.find(msg.txn);
+    if (rit == nc_roots_.end()) return;
+    auto pit = pending_.find(rit->second);
+    if (pit == pending_.end()) return;
+    PendingSubtxn& rec = pit->second;
+    if (!msg.flag) rec.commit = false;
+    THREEV_CHECK(rec.votes_pending > 0);
+    if (--rec.votes_pending == 0) {
+      decide = true;
+      commit = rec.commit;
+      rec.acks_pending = rec.participants.size();
+      participants.assign(rec.participants.begin(), rec.participants.end());
+    }
+  }
+  if (!decide) return;
+  for (NodeId p : participants) {
+    Message m;
+    m.type = MsgType::kDecision;
+    m.from = options_.id;
+    m.txn = msg.txn;
+    m.flag = commit;
+    network_->Send(p, std::move(m));
+  }
+}
+
+void Node::OnDecision(const Message& msg) {
+  NcTxnState st;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = nc_txns_.find(msg.txn);
+    if (it != nc_txns_.end()) {
+      st = std::move(it->second);
+      nc_txns_.erase(it);
+    }
+  }
+  if (!msg.flag) {
+    for (auto it = st.undo.rbegin(); it != st.undo.rend(); ++it) {
+      store_.Undo(*it);
+    }
+  }
+  // "The completion counter is incremented atomically together with
+  // commitment" - and symmetrically with the abort, which also terminates
+  // the transaction for quiescence-detection purposes.
+  for (const auto& [version, source] : st.completions) {
+    counters_.IncC(version, source);
+  }
+  locks_.CancelWaits(msg.txn);
+  locks_.ReleaseAll(msg.txn);
+  Message m;
+  m.type = MsgType::kDecisionAck;
+  m.from = options_.id;
+  m.txn = msg.txn;
+  m.flag = msg.flag;
+  network_->Send(msg.from, std::move(m));
+}
+
+void Node::OnDecisionAck(const Message& msg) {
+  bool done = false;
+  PendingSubtxn rec;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto rit = nc_roots_.find(msg.txn);
+    if (rit == nc_roots_.end()) return;
+    auto pit = pending_.find(rit->second);
+    if (pit == pending_.end()) return;
+    THREEV_CHECK(pit->second.acks_pending > 0);
+    if (--pit->second.acks_pending == 0) {
+      done = true;
+      rec = std::move(pit->second);
+      pending_.erase(pit);
+      nc_roots_.erase(rit);
+    }
+  }
+  if (!done) return;
+  Status status = rec.commit
+                      ? Status::Ok()
+                      : (rec.status.ok() ? Status::Aborted("2pc abort")
+                                         : rec.status);
+  FinishRoot(rec, status);
+}
+
+void Node::OnLockCleanup(const Message& msg) {
+  locks_.ReleaseAll(msg.txn);
+}
+
+// ---------------------------------------------------------------------------
+// Version advancement participation (Section 4.3)
+// ---------------------------------------------------------------------------
+
+void Node::AdvanceUpdateVersionLocked(Version v) {
+  frozen_time_[vu_] = network_->Now();
+  vu_ = v;
+  // Counter rows for the new version are created lazily on first touch.
+}
+
+void Node::OnStartAdvancement(const Message& msg) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (msg.version > vu_) AdvanceUpdateVersionLocked(msg.version);
+  }
+  Message m;
+  m.type = MsgType::kStartAdvancementAck;
+  m.from = options_.id;
+  m.version = msg.version;
+  m.seq = msg.seq;
+  network_->Send(msg.from, std::move(m));
+}
+
+void Node::OnCounterRead(const Message& msg) {
+  Message m;
+  m.type = MsgType::kCounterReadReply;
+  m.from = options_.id;
+  m.version = msg.version;
+  m.seq = msg.seq;
+  m.flag = msg.flag;
+  if (msg.flag) {
+    m.counters_r = counters_.SnapshotR(msg.version);
+  } else {
+    m.counters_c = counters_.SnapshotC(msg.version);
+  }
+  network_->Send(msg.from, std::move(m));
+}
+
+void Node::OnReadVersionAdvance(const Message& msg) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (msg.version > vr_) vr_ = msg.version;
+  }
+  Message m;
+  m.type = MsgType::kReadVersionAdvanceAck;
+  m.from = options_.id;
+  m.version = msg.version;
+  m.seq = msg.seq;
+  network_->Send(msg.from, std::move(m));
+  WakeVersionGateWaiters();
+}
+
+void Node::WakeVersionGateWaiters() {
+  std::vector<std::function<void()>> runnable;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto it = gate_waiters_.begin(); it != gate_waiters_.end();) {
+      if (it->first == vr_ + 1) {
+        runnable.push_back(std::move(it->second));
+        it = gate_waiters_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  for (auto& fn : runnable) fn();
+}
+
+void Node::OnGarbageCollect(const Message& msg) {
+  store_.GarbageCollect(msg.version);
+  counters_.DropBelow(msg.version);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    frozen_time_.erase(frozen_time_.begin(),
+                       frozen_time_.lower_bound(msg.version));
+  }
+  Message m;
+  m.type = MsgType::kGarbageCollectAck;
+  m.from = options_.id;
+  m.version = msg.version;
+  m.seq = msg.seq;
+  network_->Send(msg.from, std::move(m));
+}
+
+}  // namespace threev

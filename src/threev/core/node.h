@@ -1,0 +1,264 @@
+#ifndef THREEV_CORE_NODE_H_
+#define THREEV_CORE_NODE_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "threev/common/clock.h"
+#include "threev/common/ids.h"
+#include "threev/common/random.h"
+#include "threev/common/status.h"
+#include "threev/core/counters.h"
+#include "threev/lock/lock_manager.h"
+#include "threev/metrics/metrics.h"
+#include "threev/net/network.h"
+#include "threev/storage/versioned_store.h"
+#include "threev/txn/plan.h"
+#include "threev/verify/history.h"
+
+namespace threev {
+
+// Which version read-only transactions are assigned.
+enum class ReadPolicy : uint8_t {
+  // The paper's rule: reads run against the stable read version vr.
+  kReadVersion = 0,
+  // "No Coordination" baseline: reads run against the current update
+  // version, observing in-flight transactions (incorrect but fast).
+  kCurrentVersion = 1,
+};
+
+enum class NodeMode : uint8_t {
+  // All update transactions are well-behaved: no locks at all (Section 4).
+  kPure3V = 0,
+  // NC3V (Section 5): well-behaved transactions take commuting locks;
+  // non-commuting transactions take NC locks, gate on vu == vr + 1 and run
+  // two-phase commit.
+  kNC3V = 1,
+};
+
+// How a descendant update subtransaction picks the version it writes.
+enum class VersionAssignment : uint8_t {
+  // The 3V rule: use the version carried from the root (with version
+  // inference when it is newer than the local update version).
+  kCarried = 0,
+  // The "Manual Versioning" baseline's flaw: writes land in whatever
+  // period the executing node is currently in, so a transaction that
+  // straddles an unsynchronized period switch splits across versions.
+  kLocalPeriod = 1,
+};
+
+struct NodeOptions {
+  NodeId id = 0;
+  size_t num_nodes = 1;
+  NodeMode mode = NodeMode::kPure3V;
+  ReadPolicy read_policy = ReadPolicy::kReadVersion;
+  VersionAssignment version_assignment = VersionAssignment::kCarried;
+  // How long a non-commuting subtransaction waits for locks before
+  // aborting (deadlock resolution is timeout-based, as in most real
+  // distributed lock managers).
+  Micros nc_lock_timeout = 100'000;
+  // Failure injection: probability that a well-behaved update ROOT
+  // subtransaction aborts after executing and spawning children,
+  // exercising the compensation machinery of Section 3.2 (the root rolls
+  // back locally and sends compensating subtransactions down the tree;
+  // see DESIGN.md for the scoping of this simplification).
+  double inject_abort_probability = 0.0;
+  uint64_t seed = 1;
+};
+
+// One database node (site) running the 3V protocol.
+//
+// The node is a passive event-driven state machine: HandleMessage() is its
+// only input (register it with a Network). It never blocks on remote
+// activity - waits (NC lock conflicts, the NC3V version gate) are queued
+// continuations, exactly the property Theorem 4.2 promises; on the
+// well-behaved fast path no continuation is ever queued.
+//
+// Completion tracking is hierarchical, following the paper's Table 1: a
+// subtransaction's completion counter C(v)[source][here] is incremented -
+// and a completion notice sent to its parent's node - only once all of its
+// children have reported completion. The root's completion resolves the
+// client's transaction. (Its local database effects commit immediately
+// after execution; only the *accounting* is hierarchical, so user
+// transactions are still never delayed.)
+//
+// Thread safety: HandleMessage may be called from any thread; internal
+// state is guarded by one node mutex, the store / counters / lock table by
+// their own. The node mutex is never held across a Send or a lock-manager
+// call, so callback re-entry cannot deadlock.
+class Node {
+ public:
+  Node(const NodeOptions& options, Network* network, Metrics* metrics,
+       HistoryRecorder* history = nullptr);
+
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  // Network entry point; register with Network::RegisterEndpoint.
+  void HandleMessage(const Message& msg);
+
+  // --- introspection --------------------------------------------------
+  NodeId id() const { return options_.id; }
+  Version vu() const;
+  Version vr() const;
+  VersionedStore& store() { return store_; }
+  const VersionedStore& store() const { return store_; }
+  CounterTable& counters() { return counters_; }
+  LockManager& locks() { return locks_; }
+  // Subtransactions whose subtrees have not completed yet at this node.
+  size_t PendingSubtxns() const;
+
+  // Multi-line diagnostic snapshot: versions, pending subtransactions,
+  // open non-commuting transactions, queued version-gate waiters.
+  std::string DebugString() const;
+
+ private:
+  static constexpr Version kUnassigned = 0xffffffff;
+
+  // Execution context of one subtransaction, kept alive across async lock
+  // acquisition by shared_ptr.
+  struct ExecContext {
+    TxnId txn = 0;
+    SubtxnId subtxn = 0;
+    SubtxnId parent_subtxn = 0;
+    NodeId source = 0;  // node that invoked this subtransaction
+    Version version = kUnassigned;
+    bool is_root = false;
+    bool read_only = false;
+    bool compensation = false;
+    TxnClass klass = TxnClass::kWellBehaved;
+    SubtxnPlan plan;
+    // Root only: who to answer when the tree resolves.
+    NodeId client = 0;
+    uint64_t client_seq = 0;
+    Micros submit_time = 0;
+    // Async lock acquisition state (guarded by the node mutex).
+    std::vector<std::pair<std::string, LockMode>> lock_needs;
+    size_t next_lock = 0;
+    bool lock_done = false;
+    Micros lock_wait_start = 0;
+  };
+  using ExecPtr = std::shared_ptr<ExecContext>;
+
+  // A subtransaction that executed here and is waiting for its children's
+  // completion notices (hierarchical completion accounting).
+  struct PendingSubtxn {
+    TxnId txn = 0;
+    SubtxnId subtxn = 0;
+    SubtxnId parent_subtxn = 0;
+    NodeId source = 0;
+    Version version = 0;
+    bool is_root = false;
+    bool read_only = false;
+    TxnClass klass = TxnClass::kWellBehaved;
+    size_t outstanding = 0;  // children not yet reported
+    std::map<std::string, Value> reads;  // own + subtree reads
+    Status status;                       // first failure in the subtree
+    std::set<NodeId> participants;       // nodes in the subtree
+    // Root only.
+    NodeId client = 0;
+    uint64_t client_seq = 0;
+    Micros submit_time = 0;
+    // Two-phase commit state (root of a non-commuting transaction).
+    size_t votes_pending = 0;
+    bool commit = true;
+    size_t acks_pending = 0;
+  };
+
+  // Per-node state of a non-commuting transaction (participant side).
+  struct NcTxnState {
+    std::vector<UndoEntry> undo;  // rollback log, applied in reverse
+    // Deferred completion-counter increments, applied at decision time
+    // ("the completion counter is incremented atomically together with
+    // commitment", Section 5 step 6).
+    std::vector<std::pair<Version, NodeId>> completions;
+    bool failed = false;
+  };
+
+  // --- message handlers ---
+  void OnClientSubmit(const Message& msg);
+  void OnSubtxnRequest(const Message& msg);
+  void OnCompletionNotice(const Message& msg);
+  void OnStartAdvancement(const Message& msg);
+  void OnCounterRead(const Message& msg);
+  void OnReadVersionAdvance(const Message& msg);
+  void OnGarbageCollect(const Message& msg);
+  void OnPrepare(const Message& msg);
+  void OnVote(const Message& msg);
+  void OnDecision(const Message& msg);
+  void OnDecisionAck(const Message& msg);
+  void OnLockCleanup(const Message& msg);
+
+  // --- execution ---
+  // Assigns the root version / applies version inference, then routes to
+  // the mode-appropriate execution path.
+  void StartSubtxn(ExecPtr ctx);
+  // After the NC3V version gate has passed: locks, then body.
+  void ProceedNonCommuting(ExecPtr ctx);
+  // Sequential async acquisition of ctx->lock_needs, then done(granted).
+  void AcquireNextLock(ExecPtr ctx, std::function<void(bool)> done);
+  // Re-arming lock-wait watchdog for non-commuting subtransactions.
+  void ArmLockTimeout(ExecPtr ctx);
+  // Fast-path body: Sections 4.1 / 4.2 (well-behaved and read-only).
+  void ExecuteBody(ExecPtr ctx);
+  // NC3V body: Section 5 steps 3-6.
+  void ExecuteBodyNC(ExecPtr ctx);
+  // Spawns one child subtransaction (R increment + request message).
+  SubtxnId SpawnChild(const ExecPtr& ctx, const SubtxnPlan& child,
+                      bool compensation);
+  // Registers the pending record; if no children are outstanding,
+  // completes immediately.
+  void FinishExecution(const ExecPtr& ctx, Status status,
+                       std::vector<SubtxnId> spawned,
+                       std::map<std::string, Value> reads);
+
+  // --- hierarchical completion ---
+  // Called when rec's subtree has fully completed at this node.
+  void CompleteSubtxn(PendingSubtxn rec);
+  // Root resolution: reply to client / kick off 2PC / lock cleanup.
+  void ResolveRoot(PendingSubtxn rec);
+  void FinishRoot(PendingSubtxn& rec, Status status);
+
+  // --- helpers ---
+  void AdvanceUpdateVersionLocked(Version v);
+  void WakeVersionGateWaiters();
+  bool InjectAbort();
+  SubtxnId NewSubtxnId();
+  static std::vector<std::pair<std::string, LockMode>> ComputeLockNeeds(
+      const SubtxnPlan& plan, bool non_commuting);
+
+  NodeOptions options_;
+  Network* network_;          // unowned
+  Metrics* metrics_;          // unowned
+  HistoryRecorder* history_;  // unowned, may be null
+
+  VersionedStore store_;
+  CounterTable counters_;
+  LockManager locks_;
+
+  mutable std::mutex mu_;
+  Version vu_;
+  Version vr_;
+  // When each version stopped being the update version (for staleness
+  // accounting). Version 0 is frozen at time 0 by construction.
+  std::map<Version, Micros> frozen_time_;
+  uint64_t next_txn_seq_ = 1;
+  uint64_t next_subtxn_seq_ = 1;
+  Rng rng_;
+  std::map<SubtxnId, PendingSubtxn> pending_;
+  std::map<TxnId, SubtxnId> nc_roots_;  // routes kVote / kDecisionAck
+  std::unordered_map<TxnId, NcTxnState> nc_txns_;
+  // NC3V version gate: continuations waiting for vr == version - 1.
+  std::vector<std::pair<Version, std::function<void()>>> gate_waiters_;
+};
+
+}  // namespace threev
+
+#endif  // THREEV_CORE_NODE_H_

@@ -1,0 +1,81 @@
+#include "threev/core/policy.h"
+
+namespace threev {
+
+AdvancePolicyDriver::AdvancePolicyDriver(const AdvancePolicyOptions& options,
+                                         AdvanceCoordinator* coordinator,
+                                         const Metrics* metrics,
+                                         Network* network)
+    : options_(options),
+      coordinator_(coordinator),
+      metrics_(metrics),
+      network_(network) {}
+
+void AdvancePolicyDriver::Start() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (running_) return;
+    running_ = true;
+    committed_baseline_ = metrics_->txns_committed.load();
+    last_advance_time_ = network_->Now() - options_.min_period;
+  }
+  ScheduleCheck();
+}
+
+void AdvancePolicyDriver::Stop() {
+  std::lock_guard<std::mutex> lock(mu_);
+  running_ = false;
+}
+
+uint64_t AdvancePolicyDriver::triggered_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return triggered_;
+}
+
+void AdvancePolicyDriver::ScheduleCheck() {
+  network_->ScheduleAfter(options_.check_interval, [this] {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!running_) return;
+    }
+    Check();
+    ScheduleCheck();
+  });
+}
+
+bool AdvancePolicyDriver::StartIfAllowed() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (options_.min_period > 0 &&
+        network_->Now() - last_advance_time_ < options_.min_period) {
+      return false;
+    }
+  }
+  if (!coordinator_->StartAdvancement()) return false;
+  std::lock_guard<std::mutex> lock(mu_);
+  last_advance_time_ = network_->Now();
+  committed_baseline_ = metrics_->txns_committed.load();
+  ++triggered_;
+  return true;
+}
+
+void AdvancePolicyDriver::Check() {
+  bool fire = false;
+  if (options_.txn_threshold > 0) {
+    int64_t baseline;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      baseline = committed_baseline_;
+    }
+    if (metrics_->txns_committed.load() - baseline >=
+        options_.txn_threshold) {
+      fire = true;
+    }
+  }
+  if (!fire && options_.trigger && options_.trigger()) fire = true;
+  if (fire) StartIfAllowed();
+}
+
+bool AdvancePolicyDriver::RequestOnce() { return StartIfAllowed(); }
+
+}  // namespace threev

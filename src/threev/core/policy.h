@@ -1,0 +1,80 @@
+#ifndef THREEV_CORE_POLICY_H_
+#define THREEV_CORE_POLICY_H_
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+
+#include "threev/common/clock.h"
+#include "threev/core/coordinator.h"
+#include "threev/metrics/metrics.h"
+#include "threev/net/network.h"
+
+namespace threev {
+
+// Version advancement triggers from the paper's "Desired Solution"
+// (Section 1): "we may want to advance versions every hour, or once a
+// certain number of update transactions have accumulated, or when the
+// difference in value of data items in different versions exceeds some
+// threshold, or after a particular update transaction commits."
+//
+//  * every hour            -> AdvanceCoordinator::EnableAutoAdvance.
+//  * after N transactions  -> txn_threshold below.
+//  * value-drift threshold -> custom `trigger` predicate (e.g. compare the
+//                             read- and update-version copies of a summary).
+//  * after a specific txn  -> call RequestOnce() from that txn's callback.
+struct AdvancePolicyOptions {
+  // Advance once this many transactions committed since the last
+  // advancement (0 = disabled).
+  int64_t txn_threshold = 0;
+  // Custom predicate, evaluated every check_interval (null = disabled).
+  std::function<bool()> trigger;
+  // How often the driver evaluates its conditions.
+  Micros check_interval = 5'000;
+  // Rate limit: never start advancements closer together than this.
+  Micros min_period = 0;
+};
+
+// Watches the metrics / predicate and asks the coordinator to advance when
+// a condition fires. Runs on the Network's timer; Start() arms it, Stop()
+// disarms (the in-flight check completes harmlessly).
+class AdvancePolicyDriver {
+ public:
+  AdvancePolicyDriver(const AdvancePolicyOptions& options,
+                      AdvanceCoordinator* coordinator, const Metrics* metrics,
+                      Network* network);
+
+  AdvancePolicyDriver(const AdvancePolicyDriver&) = delete;
+  AdvancePolicyDriver& operator=(const AdvancePolicyDriver&) = delete;
+
+  void Start();
+  void Stop();
+
+  // "After a particular update transaction commits": requests one
+  // advancement now (subject to min_period and the one-at-a-time rule).
+  // Returns true if an advancement was started.
+  bool RequestOnce();
+
+  // Advancements this driver initiated.
+  uint64_t triggered_count() const;
+
+ private:
+  void ScheduleCheck();
+  void Check();
+  bool StartIfAllowed();
+
+  AdvancePolicyOptions options_;
+  AdvanceCoordinator* coordinator_;
+  const Metrics* metrics_;
+  Network* network_;
+
+  mutable std::mutex mu_;
+  bool running_ = false;
+  int64_t committed_baseline_ = 0;
+  Micros last_advance_time_ = 0;
+  uint64_t triggered_ = 0;
+};
+
+}  // namespace threev
+
+#endif  // THREEV_CORE_POLICY_H_

@@ -1,0 +1,124 @@
+#include "threev/metrics/histogram.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <limits>
+
+namespace threev {
+
+Histogram::Histogram()
+    : count_(0),
+      sum_(0),
+      min_(std::numeric_limits<int64_t>::max()),
+      max_(0),
+      buckets_(kNumBuckets) {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+}
+
+int Histogram::BucketFor(int64_t value) {
+  if (value < 0) value = 0;
+  if (value < (1 << kSubBucketBits)) return static_cast<int>(value);
+  // Position of the highest set bit determines the power-of-2 bucket group;
+  // the next kSubBucketBits bits select the sub-bucket.
+  int msb = 63 - __builtin_clzll(static_cast<uint64_t>(value));
+  int group = msb - kSubBucketBits + 1;
+  int sub = static_cast<int>((value >> (msb - kSubBucketBits)) &
+                             ((1 << kSubBucketBits) - 1));
+  int index = ((group + 1) << kSubBucketBits) + sub;
+  return std::min(index, kNumBuckets - 1);
+}
+
+int64_t Histogram::BucketUpperBound(int bucket) {
+  if (bucket < (1 << kSubBucketBits)) return bucket;
+  int group = (bucket >> kSubBucketBits) - 1;
+  int sub = bucket & ((1 << kSubBucketBits) - 1);
+  int shift = group - 1;
+  int64_t base = (1ll << (kSubBucketBits + shift));
+  return base + ((static_cast<int64_t>(sub) + 1) << shift) - 1;
+}
+
+void Histogram::Record(int64_t value) {
+  if (value < 0) value = 0;
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+  int64_t prev_min = min_.load(std::memory_order_relaxed);
+  while (value < prev_min &&
+         !min_.compare_exchange_weak(prev_min, value,
+                                     std::memory_order_relaxed)) {
+  }
+  int64_t prev_max = max_.load(std::memory_order_relaxed);
+  while (value > prev_max &&
+         !max_.compare_exchange_weak(prev_max, value,
+                                     std::memory_order_relaxed)) {
+  }
+  buckets_[BucketFor(value)].fetch_add(1, std::memory_order_relaxed);
+}
+
+int64_t Histogram::min() const {
+  int64_t m = min_.load(std::memory_order_relaxed);
+  return m == std::numeric_limits<int64_t>::max() ? 0 : m;
+}
+
+double Histogram::mean() const {
+  int64_t c = count();
+  return c == 0 ? 0.0 : static_cast<double>(sum()) / static_cast<double>(c);
+}
+
+int64_t Histogram::Percentile(double p) const {
+  int64_t total = count();
+  if (total == 0) return 0;
+  if (p < 0) p = 0;
+  if (p > 100) p = 100;
+  int64_t rank = static_cast<int64_t>(p / 100.0 * static_cast<double>(total));
+  if (rank >= total) rank = total - 1;
+  int64_t seen = 0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    seen += buckets_[i].load(std::memory_order_relaxed);
+    if (seen > rank) return std::min(BucketUpperBound(i), max());
+  }
+  return max();
+}
+
+void Histogram::Merge(const Histogram& other) {
+  count_.fetch_add(other.count(), std::memory_order_relaxed);
+  sum_.fetch_add(other.sum(), std::memory_order_relaxed);
+  int64_t omin = other.min_.load(std::memory_order_relaxed);
+  int64_t prev_min = min_.load(std::memory_order_relaxed);
+  while (omin < prev_min &&
+         !min_.compare_exchange_weak(prev_min, omin,
+                                     std::memory_order_relaxed)) {
+  }
+  int64_t omax = other.max();
+  int64_t prev_max = max_.load(std::memory_order_relaxed);
+  while (omax > prev_max &&
+         !max_.compare_exchange_weak(prev_max, omax,
+                                     std::memory_order_relaxed)) {
+  }
+  for (int i = 0; i < kNumBuckets; ++i) {
+    buckets_[i].fetch_add(other.buckets_[i].load(std::memory_order_relaxed),
+                          std::memory_order_relaxed);
+  }
+}
+
+void Histogram::Reset() {
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  min_.store(std::numeric_limits<int64_t>::max(), std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+}
+
+std::string Histogram::Summary(const std::string& unit) const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "count=%lld mean=%.1f%s p50=%lld%s p90=%lld%s p99=%lld%s "
+                "max=%lld%s",
+                static_cast<long long>(count()), mean(), unit.c_str(),
+                static_cast<long long>(Percentile(50)), unit.c_str(),
+                static_cast<long long>(Percentile(90)), unit.c_str(),
+                static_cast<long long>(Percentile(99)), unit.c_str(),
+                static_cast<long long>(max()), unit.c_str());
+  return buf;
+}
+
+}  // namespace threev

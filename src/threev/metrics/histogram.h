@@ -1,0 +1,56 @@
+#ifndef THREEV_METRICS_HISTOGRAM_H_
+#define THREEV_METRICS_HISTOGRAM_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace threev {
+
+// Log-bucketed latency histogram (HdrHistogram-style, base-2 buckets with 16
+// sub-buckets each). Records int64 values in [0, 2^62); thread-safe via
+// relaxed atomics (exact totals, approximate per-bucket interleaving).
+//
+// Bucket resolution is ~6% relative error, plenty for latency percentiles.
+class Histogram {
+ public:
+  Histogram();
+
+  void Record(int64_t value);
+
+  int64_t count() const { return count_.load(std::memory_order_relaxed); }
+  int64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  int64_t min() const;
+  int64_t max() const { return max_.load(std::memory_order_relaxed); }
+  double mean() const;
+
+  // Percentile in [0, 100]; returns an upper bound of the bucket containing
+  // the requested rank. Returns 0 for an empty histogram.
+  int64_t Percentile(double p) const;
+
+  // Merges another histogram's counts into this one.
+  void Merge(const Histogram& other);
+
+  void Reset();
+
+  // "count=.. mean=.. p50=.. p99=.. max=.." (values in the recorded unit).
+  std::string Summary(const std::string& unit = "us") const;
+
+ private:
+  static constexpr int kSubBucketBits = 4;  // 16 sub-buckets per power of 2.
+  static constexpr int kNumBuckets = 64 << kSubBucketBits;
+
+  static int BucketFor(int64_t value);
+  static int64_t BucketUpperBound(int bucket);
+
+  std::atomic<int64_t> count_;
+  std::atomic<int64_t> sum_;
+  std::atomic<int64_t> min_;
+  std::atomic<int64_t> max_;
+  std::vector<std::atomic<int64_t>> buckets_;
+};
+
+}  // namespace threev
+
+#endif  // THREEV_METRICS_HISTOGRAM_H_

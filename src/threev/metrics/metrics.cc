@@ -1,0 +1,52 @@
+#include "threev/metrics/metrics.h"
+
+#include <sstream>
+
+namespace threev {
+
+void Metrics::Reset() {
+  messages_sent = 0;
+  bytes_sent = 0;
+  txns_committed = 0;
+  txns_aborted = 0;
+  subtxns_executed = 0;
+  compensations_sent = 0;
+  version_copies = 0;
+  bytes_copied = 0;
+  dual_version_writes = 0;
+  version_inferences = 0;
+  advancements_completed = 0;
+  quiescence_rounds = 0;
+  lock_waits = 0;
+  lock_wait_micros = 0;
+  version_gate_waits = 0;
+  update_latency.Reset();
+  read_latency.Reset();
+  advancement_latency.Reset();
+  staleness.Reset();
+}
+
+std::string Metrics::Report() const {
+  std::ostringstream os;
+  os << "txns: committed=" << txns_committed.load()
+     << " aborted=" << txns_aborted.load()
+     << " subtxns=" << subtxns_executed.load()
+     << " compensations=" << compensations_sent.load() << "\n";
+  os << "net: messages=" << messages_sent.load()
+     << " bytes=" << bytes_sent.load() << "\n";
+  os << "versioning: copies=" << version_copies.load()
+     << " bytes_copied=" << bytes_copied.load()
+     << " dual_writes=" << dual_version_writes.load()
+     << " inferences=" << version_inferences.load()
+     << " advancements=" << advancements_completed.load()
+     << " quiescence_rounds=" << quiescence_rounds.load() << "\n";
+  os << "blocking: lock_waits=" << lock_waits.load()
+     << " lock_wait_us=" << lock_wait_micros.load()
+     << " version_gate_waits=" << version_gate_waits.load() << "\n";
+  os << "update_latency: " << update_latency.Summary() << "\n";
+  os << "read_latency:   " << read_latency.Summary() << "\n";
+  os << "staleness:      " << staleness.Summary() << "\n";
+  return os.str();
+}
+
+}  // namespace threev

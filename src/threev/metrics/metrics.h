@@ -1,0 +1,58 @@
+#ifndef THREEV_METRICS_METRICS_H_
+#define THREEV_METRICS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "threev/metrics/histogram.h"
+
+namespace threev {
+
+// System-wide counters shared by all protocol engines. Every field is an
+// atomic so nodes on different threads can bump them without coordination;
+// benches snapshot and print them. The dual_version_writes / version copies
+// counters back the paper's "at most three versions / copy once per
+// advancement" claims (experiments B-3COPIES, B-ABLATE-COW).
+struct Metrics {
+  // Traffic.
+  std::atomic<int64_t> messages_sent{0};
+  std::atomic<int64_t> bytes_sent{0};
+
+  // Transactions.
+  std::atomic<int64_t> txns_committed{0};
+  std::atomic<int64_t> txns_aborted{0};
+  std::atomic<int64_t> subtxns_executed{0};
+  std::atomic<int64_t> compensations_sent{0};
+
+  // Versioning behaviour.
+  std::atomic<int64_t> version_copies{0};        // copy-on-update events
+  std::atomic<int64_t> bytes_copied{0};          // payload bytes copied
+  std::atomic<int64_t> dual_version_writes{0};   // straggler double-writes
+  // Advancement learned from a newer-version subtransaction arriving
+  // before the coordinator's notice (Section 4.1 step 2).
+  std::atomic<int64_t> version_inferences{0};
+  std::atomic<int64_t> advancements_completed{0};
+  std::atomic<int64_t> quiescence_rounds{0};     // phase-2/4 read waves pairs
+
+  // Blocking behaviour (the paper's headline claim is that these stay zero
+  // for user transactions in pure-3V mode).
+  std::atomic<int64_t> lock_waits{0};
+  std::atomic<int64_t> lock_wait_micros{0};
+  std::atomic<int64_t> version_gate_waits{0};    // NC3V vu==vr+1 gate
+
+  // Latency distributions (microseconds; virtual under SimNet).
+  Histogram update_latency;
+  Histogram read_latency;
+  Histogram advancement_latency;
+  Histogram staleness;  // age of data returned to read-only transactions
+
+  void Reset();
+
+  // Multi-line human-readable dump.
+  std::string Report() const;
+};
+
+}  // namespace threev
+
+#endif  // THREEV_METRICS_METRICS_H_

@@ -1,0 +1,81 @@
+#include "threev/net/message.h"
+
+#include <sstream>
+
+namespace threev {
+
+const char* MsgTypeName(MsgType type) {
+  switch (type) {
+    case MsgType::kSubtxnRequest:
+      return "SubtxnRequest";
+    case MsgType::kCompletionNotice:
+      return "CompletionNotice";
+    case MsgType::kStartAdvancement:
+      return "StartAdvancement";
+    case MsgType::kStartAdvancementAck:
+      return "StartAdvancementAck";
+    case MsgType::kCounterRead:
+      return "CounterRead";
+    case MsgType::kCounterReadReply:
+      return "CounterReadReply";
+    case MsgType::kReadVersionAdvance:
+      return "ReadVersionAdvance";
+    case MsgType::kReadVersionAdvanceAck:
+      return "ReadVersionAdvanceAck";
+    case MsgType::kGarbageCollect:
+      return "GarbageCollect";
+    case MsgType::kGarbageCollectAck:
+      return "GarbageCollectAck";
+    case MsgType::kPrepare:
+      return "Prepare";
+    case MsgType::kVote:
+      return "Vote";
+    case MsgType::kDecision:
+      return "Decision";
+    case MsgType::kDecisionAck:
+      return "DecisionAck";
+    case MsgType::kLockCleanup:
+      return "LockCleanup";
+    case MsgType::kClientSubmit:
+      return "ClientSubmit";
+    case MsgType::kClientResult:
+      return "ClientResult";
+  }
+  return "?";
+}
+
+namespace {
+size_t PlanBytes(const SubtxnPlan& plan) {
+  size_t n = 8;
+  for (const auto& op : plan.ops) {
+    n += 1 + 4 + op.key.size() + 8 + 4 + op.payload.size();
+  }
+  for (const auto& c : plan.children) n += PlanBytes(c);
+  return n;
+}
+}  // namespace
+
+size_t Message::ApproxBytes() const {
+  size_t n = 1 + 4 + 8 + 8 + 8 + 4 + 8 + 1 + 1 + 4;  // fixed header fields
+  n += PlanBytes(plan);
+  n += spawned.size() * 8;
+  for (const auto& [key, value] : reads) {
+    n += 4 + key.size() + value.ByteSize();
+  }
+  n += (counters_r.size() + counters_c.size()) * 12;
+  n += 1 + status_msg.size();
+  return n;
+}
+
+std::string Message::ToString() const {
+  std::ostringstream os;
+  os << MsgTypeName(type) << "{from=" << from;
+  if (txn) os << " txn=" << txn;
+  if (subtxn) os << " subtxn=" << subtxn;
+  os << " v=" << version;
+  if (flag) os << " flag";
+  os << "}";
+  return os.str();
+}
+
+}  // namespace threev

@@ -1,0 +1,86 @@
+#ifndef THREEV_NET_MESSAGE_H_
+#define THREEV_NET_MESSAGE_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "threev/common/ids.h"
+#include "threev/common/status.h"
+#include "threev/txn/plan.h"
+
+namespace threev {
+
+// Every protocol data unit exchanged between endpoints (nodes, the
+// advancement coordinator, remote clients). One tagged struct keeps the
+// transports generic; unused fields stay empty.
+enum class MsgType : uint8_t {
+  // --- user transactions (Sections 4.1 / 4.2) ---
+  kSubtxnRequest = 0,    // execute a subtransaction (root or descendant)
+  kCompletionNotice,     // subtxn terminated: spawned ids + read results
+
+  // --- version advancement (Section 4.3) ---
+  kStartAdvancement,     // phase 1: new update version
+  kStartAdvancementAck,
+  kCounterRead,          // phases 2/4: read one wave of counters
+  kCounterReadReply,
+  kReadVersionAdvance,   // phase 3: new read version
+  kReadVersionAdvanceAck,
+  kGarbageCollect,       // phase 4 trailer
+  kGarbageCollectAck,
+
+  // --- NC3V / two-phase commit (Section 5) ---
+  kPrepare,
+  kVote,
+  kDecision,             // flag=true commit / false abort
+  kDecisionAck,
+  kLockCleanup,          // release commute locks after tree completion
+
+  // --- remote client protocol (TcpNet deployments) ---
+  kClientSubmit,
+  kClientResult,
+};
+
+const char* MsgTypeName(MsgType type);
+
+struct Message {
+  MsgType type = MsgType::kSubtxnRequest;
+  NodeId from = 0;
+
+  TxnId txn = 0;
+  SubtxnId subtxn = 0;
+  SubtxnId parent_subtxn = 0;
+  Version version = 0;
+  // Generic sequence: advancement epoch for advancement messages, wave id
+  // for counter reads, request id for client submissions.
+  uint64_t seq = 0;
+  // Generic flag: read_only for kSubtxnRequest; commit/abort for kDecision
+  // and kVote; compensation marker on kSubtxnRequest.
+  bool flag = false;
+  uint8_t klass = 0;  // TxnClass of the owning transaction
+  // Tracker endpoint (node that owns the completion bookkeeping for txn).
+  NodeId origin = 0;
+
+  SubtxnPlan plan;  // kSubtxnRequest / kClientSubmit
+
+  std::vector<SubtxnId> spawned;                      // kCompletionNotice
+  std::vector<std::pair<std::string, Value>> reads;   // notice / result
+  // kCounterReadReply: R row (peer -> count) and C column (source -> count)
+  // for `version` at the replying node.
+  std::vector<std::pair<NodeId, int64_t>> counters_r;
+  std::vector<std::pair<NodeId, int64_t>> counters_c;
+
+  StatusCode status_code = StatusCode::kOk;  // notice / vote / client result
+  std::string status_msg;
+
+  // Rough serialized size, used for bytes-sent accounting without paying
+  // for a real encode on the in-process transports.
+  size_t ApproxBytes() const;
+
+  std::string ToString() const;  // one-line debug form
+};
+
+}  // namespace threev
+
+#endif  // THREEV_NET_MESSAGE_H_

@@ -1,0 +1,89 @@
+#include "threev/net/sim_net.h"
+
+#include "threev/common/logging.h"
+
+namespace threev {
+
+SimNet::SimNet(SimNetOptions options, Metrics* metrics)
+    : options_(options), metrics_(metrics), rng_(options.seed) {}
+
+void SimNet::RegisterEndpoint(NodeId id, MessageHandler handler) {
+  handlers_[id] = std::move(handler);
+}
+
+void SimNet::DispatchNow(NodeId to, Message msg) {
+  auto it = handlers_.find(to);
+  THREEV_CHECK(it != handlers_.end()) << "no endpoint " << to;
+  it->second(msg);
+}
+
+void SimNet::Send(NodeId to, Message msg) {
+  if (metrics_ != nullptr) {
+    metrics_->messages_sent.fetch_add(1, std::memory_order_relaxed);
+    metrics_->bytes_sent.fetch_add(static_cast<int64_t>(msg.ApproxBytes()),
+                                   std::memory_order_relaxed);
+  }
+  if (options_.manual) {
+    uint64_t id = next_held_id_++;
+    held_.emplace(id, PendingMessage{id, to, std::move(msg)});
+    return;
+  }
+  Micros delay = options_.min_delay +
+                 static_cast<Micros>(
+                     rng_.Exponential(static_cast<double>(
+                         options_.mean_extra_delay > 0
+                             ? options_.mean_extra_delay
+                             : 1)));
+  if (options_.mean_extra_delay == 0) delay = options_.min_delay;
+  Micros when = loop_.Now() + delay;
+  if (options_.fifo_channels) {
+    uint64_t channel = (static_cast<uint64_t>(msg.from) << 32) | to;
+    Micros& watermark = channel_watermark_[channel];
+    if (when <= watermark) when = watermark + 1;
+    watermark = when;
+  }
+  loop_.ScheduleAt(when, [this, to, m = std::move(msg)]() mutable {
+    DispatchNow(to, std::move(m));
+  });
+}
+
+void SimNet::ScheduleAfter(Micros delay, std::function<void()> fn) {
+  loop_.ScheduleAfter(delay, std::move(fn));
+}
+
+std::vector<SimNet::PendingMessage> SimNet::Pending() const {
+  std::vector<PendingMessage> out;
+  out.reserve(held_.size());
+  for (const auto& [id, pm] : held_) out.push_back(pm);
+  return out;
+}
+
+bool SimNet::Deliver(uint64_t id) {
+  auto it = held_.find(id);
+  if (it == held_.end()) return false;
+  PendingMessage pm = std::move(it->second);
+  held_.erase(it);
+  DispatchNow(pm.to, std::move(pm.msg));
+  return true;
+}
+
+uint64_t SimNet::DeliverMatching(int from, int to, int type) {
+  for (auto& [id, pm] : held_) {
+    if ((from < 0 || pm.msg.from == static_cast<NodeId>(from)) &&
+        (to < 0 || pm.to == static_cast<NodeId>(to)) &&
+        (type < 0 || pm.msg.type == static_cast<MsgType>(type))) {
+      uint64_t found = id;
+      Deliver(found);
+      return found;
+    }
+  }
+  return 0;
+}
+
+void SimNet::DeliverAll() {
+  while (!held_.empty()) {
+    Deliver(held_.begin()->first);
+  }
+}
+
+}  // namespace threev

@@ -1,0 +1,83 @@
+#ifndef THREEV_NET_SIM_NET_H_
+#define THREEV_NET_SIM_NET_H_
+
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "threev/common/random.h"
+#include "threev/metrics/metrics.h"
+#include "threev/net/network.h"
+#include "threev/sim/event_loop.h"
+
+namespace threev {
+
+struct SimNetOptions {
+  uint64_t seed = 1;
+  // One-way delivery delay = min_delay + Exponential(mean_extra_delay).
+  Micros min_delay = 200;
+  Micros mean_extra_delay = 300;
+  // Enforce per-(from,to) FIFO delivery (delays never reorder a channel).
+  bool fifo_channels = true;
+  // Manual mode: messages are held in a pending list until the test calls
+  // Deliver()/DeliverAll(). Used by the Table 1 replay to reproduce the
+  // paper's exact interleaving.
+  bool manual = false;
+};
+
+// Deterministic discrete-event network. All endpoints run inside one
+// EventLoop; a whole multi-node cluster simulates on one OS thread.
+class SimNet : public Network {
+ public:
+  explicit SimNet(SimNetOptions options = {}, Metrics* metrics = nullptr);
+
+  void RegisterEndpoint(NodeId id, MessageHandler handler) override;
+  void Send(NodeId to, Message msg) override;
+  void ScheduleAfter(Micros delay, std::function<void()> fn) override;
+  Micros Now() const override { return loop_.Now(); }
+
+  EventLoop& loop() { return loop_; }
+
+  // --- manual mode ---------------------------------------------------
+
+  struct PendingMessage {
+    uint64_t id;
+    NodeId to;
+    Message msg;
+  };
+
+  // Messages currently held (manual mode only), in send order.
+  std::vector<PendingMessage> Pending() const;
+
+  // Delivers one held message now. Returns false if the id is unknown.
+  bool Deliver(uint64_t id);
+
+  // Delivers the oldest held message matching (from, to, type); any field
+  // can be wildcarded with -1. Returns the delivered message id or 0.
+  uint64_t DeliverMatching(int from, int to, int type);
+
+  // Delivers all held messages in send order (repeatedly, until none).
+  void DeliverAll();
+
+  size_t pending_count() const { return held_.size(); }
+
+ private:
+  void DispatchNow(NodeId to, Message msg);
+
+  SimNetOptions options_;
+  Metrics* metrics_;  // unowned, may be null
+  EventLoop loop_;
+  Rng rng_;
+  std::unordered_map<NodeId, MessageHandler> handlers_;
+  // Per-channel watermark for FIFO enforcement: (from<<32|to) -> last
+  // scheduled delivery time.
+  std::unordered_map<uint64_t, Micros> channel_watermark_;
+  // Manual mode.
+  uint64_t next_held_id_ = 1;
+  std::map<uint64_t, PendingMessage> held_;
+};
+
+}  // namespace threev
+
+#endif  // THREEV_NET_SIM_NET_H_

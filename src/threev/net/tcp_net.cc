@@ -1,0 +1,264 @@
+#include "threev/net/tcp_net.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstring>
+
+#include "threev/common/logging.h"
+#include "threev/net/wire.h"
+
+namespace threev {
+
+namespace {
+
+// Parses "host:port"; host must be a dotted-quad (or "localhost").
+bool ParseAddress(const std::string& addr, sockaddr_in* out) {
+  auto colon = addr.rfind(':');
+  if (colon == std::string::npos) return false;
+  std::string host = addr.substr(0, colon);
+  int port = std::atoi(addr.c_str() + colon + 1);
+  if (port <= 0 || port > 65535) return false;
+  if (host == "localhost") host = "127.0.0.1";
+  std::memset(out, 0, sizeof(*out));
+  out->sin_family = AF_INET;
+  out->sin_port = htons(static_cast<uint16_t>(port));
+  return inet_pton(AF_INET, host.c_str(), &out->sin_addr) == 1;
+}
+
+bool WriteAll(int fd, const uint8_t* data, size_t size) {
+  size_t sent = 0;
+  while (sent < size) {
+    ssize_t n = ::send(fd, data + sent, size - sent, MSG_NOSIGNAL);
+    if (n <= 0) return false;
+    sent += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+bool ReadAll(int fd, uint8_t* data, size_t size) {
+  size_t got = 0;
+  while (got < size) {
+    ssize_t n = ::recv(fd, data + got, size - got, 0);
+    if (n <= 0) return false;
+    got += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+TcpNet::TcpNet(TcpNetOptions options, Metrics* metrics)
+    : options_(std::move(options)), metrics_(metrics) {}
+
+TcpNet::~TcpNet() { Stop(); }
+
+Micros TcpNet::Now() const { return RealClock::Instance().Now(); }
+
+void TcpNet::RegisterEndpoint(NodeId id, MessageHandler handler) {
+  handlers_[id] = std::move(handler);
+}
+
+Status TcpNet::Start() {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) return Status::IoError("socket() failed");
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_ANY);
+  addr.sin_port = htons(options_.listen_port);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    return Status::IoError("bind() failed on port " +
+                           std::to_string(options_.listen_port));
+  }
+  if (::listen(listen_fd_, 64) != 0) return Status::IoError("listen() failed");
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  dispatch_thread_ = std::thread([this] { DispatchLoop(); });
+  timer_thread_ = std::thread([this] { TimerLoop(); });
+  return Status::Ok();
+}
+
+void TcpNet::Stop() {
+  if (stopping_.exchange(true)) return;
+  {
+    std::lock_guard<std::mutex> lock(timer_mu_);
+    timer_stop_ = true;
+  }
+  timer_cv_.notify_all();
+  if (listen_fd_ >= 0) {
+    ::shutdown(listen_fd_, SHUT_RDWR);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    for (auto& [id, fd] : connections_) {
+      ::shutdown(fd, SHUT_RDWR);
+      ::close(fd);
+    }
+    connections_.clear();
+  }
+  inbound_.Close();
+  if (accept_thread_.joinable()) accept_thread_.join();
+  if (dispatch_thread_.joinable()) dispatch_thread_.join();
+  if (timer_thread_.joinable()) timer_thread_.join();
+  {
+    // Unblock readers parked in recv() on accepted connections.
+    std::lock_guard<std::mutex> lock(readers_mu_);
+    for (int fd : accepted_fds_) ::shutdown(fd, SHUT_RDWR);
+  }
+  std::lock_guard<std::mutex> lock(readers_mu_);
+  for (auto& t : reader_threads_) {
+    if (t.joinable()) t.join();
+  }
+}
+
+void TcpNet::AcceptLoop() {
+  while (!stopping_.load()) {
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) break;
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    std::lock_guard<std::mutex> lock(readers_mu_);
+    accepted_fds_.push_back(fd);
+    reader_threads_.emplace_back([this, fd] { ReaderLoop(fd); });
+  }
+}
+
+void TcpNet::ReaderLoop(int fd) {
+  for (;;) {
+    uint8_t header[8];
+    if (!ReadAll(fd, header, sizeof(header))) break;
+    uint32_t len, dest;
+    std::memcpy(&len, header, 4);
+    std::memcpy(&dest, header + 4, 4);
+    if (len > (64u << 20)) break;  // oversized frame: drop connection
+    std::vector<uint8_t> payload(len);
+    if (!ReadAll(fd, payload.data(), len)) break;
+    Result<Message> msg = DecodeMessage(payload.data(), payload.size());
+    if (!msg.ok()) {
+      THREEV_LOG(kWarn) << "dropping malformed frame: "
+                        << msg.status().ToString();
+      continue;
+    }
+    inbound_.Push(Inbound{dest, std::move(msg).value()});
+  }
+  ::close(fd);
+}
+
+void TcpNet::DispatchLoop() {
+  while (auto item = inbound_.Pop()) {
+    auto it = handlers_.find(item->to);
+    if (it == handlers_.end()) {
+      THREEV_LOG(kWarn) << "no local endpoint " << item->to;
+      continue;
+    }
+    it->second(item->msg);
+  }
+}
+
+int TcpNet::ConnectionTo(NodeId to) {
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    auto it = connections_.find(to);
+    if (it != connections_.end()) return it->second;
+  }
+  auto peer = options_.peers.find(to);
+  if (peer == options_.peers.end()) return -1;
+  sockaddr_in addr;
+  if (!ParseAddress(peer->second, &addr)) return -1;
+
+  Micros deadline = Now() + options_.connect_timeout;
+  while (!stopping_.load() && Now() < deadline) {
+    int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) return -1;
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0) {
+      int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      std::lock_guard<std::mutex> lock(conn_mu_);
+      auto [it, inserted] = connections_.emplace(to, fd);
+      if (!inserted) {
+        ::close(fd);  // another thread raced us; use theirs
+      }
+      return it->second;
+    }
+    ::close(fd);
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  return -1;
+}
+
+void TcpNet::Send(NodeId to, Message msg) {
+  if (metrics_ != nullptr) {
+    metrics_->messages_sent.fetch_add(1, std::memory_order_relaxed);
+  }
+  // Local endpoint: skip the wire, but still go through the dispatcher so
+  // the no-synchronous-delivery contract holds.
+  if (handlers_.count(to) != 0) {
+    inbound_.Push(Inbound{to, std::move(msg)});
+    return;
+  }
+  std::vector<uint8_t> payload = EncodeMessage(msg);
+  if (metrics_ != nullptr) {
+    metrics_->bytes_sent.fetch_add(static_cast<int64_t>(payload.size() + 8),
+                                   std::memory_order_relaxed);
+  }
+  int fd = ConnectionTo(to);
+  if (fd < 0) {
+    THREEV_LOG(kWarn) << "cannot reach endpoint " << to << ", dropping "
+                      << MsgTypeName(msg.type);
+    return;
+  }
+  uint8_t header[8];
+  uint32_t len = static_cast<uint32_t>(payload.size());
+  std::memcpy(header, &len, 4);
+  std::memcpy(header + 4, &to, 4);
+  std::lock_guard<std::mutex> lock(write_mu_);
+  if (!WriteAll(fd, header, sizeof(header)) ||
+      !WriteAll(fd, payload.data(), payload.size())) {
+    THREEV_LOG(kWarn) << "write to endpoint " << to << " failed";
+    std::lock_guard<std::mutex> conn_lock(conn_mu_);
+    auto it = connections_.find(to);
+    if (it != connections_.end() && it->second == fd) {
+      ::close(fd);
+      connections_.erase(it);
+    }
+  }
+}
+
+void TcpNet::ScheduleAfter(Micros delay, std::function<void()> fn) {
+  {
+    std::lock_guard<std::mutex> lock(timer_mu_);
+    if (timer_stop_) return;
+    timers_.emplace(Now() + delay, std::move(fn));
+  }
+  timer_cv_.notify_all();
+}
+
+void TcpNet::TimerLoop() {
+  std::unique_lock<std::mutex> lock(timer_mu_);
+  while (!timer_stop_) {
+    if (timers_.empty()) {
+      timer_cv_.wait(lock);
+      continue;
+    }
+    Micros next = timers_.begin()->first;
+    Micros now = Now();
+    if (now < next) {
+      timer_cv_.wait_for(lock, std::chrono::microseconds(next - now));
+      continue;
+    }
+    auto fn = std::move(timers_.begin()->second);
+    timers_.erase(timers_.begin());
+    lock.unlock();
+    fn();
+    lock.lock();
+  }
+}
+
+}  // namespace threev

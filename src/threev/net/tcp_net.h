@@ -1,0 +1,93 @@
+#ifndef THREEV_NET_TCP_NET_H_
+#define THREEV_NET_TCP_NET_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "threev/common/queue.h"
+#include "threev/metrics/metrics.h"
+#include "threev/net/network.h"
+
+namespace threev {
+
+struct TcpNetOptions {
+  // Endpoint id -> "host:port". Endpoints co-located in one process share
+  // that process's address. Every process lists the full map.
+  std::map<NodeId, std::string> peers;
+  // Port this process listens on (the port in `peers` for local endpoints).
+  uint16_t listen_port = 0;
+  // How long Send() keeps retrying the initial connection to a peer that
+  // has not started yet.
+  Micros connect_timeout = 10'000'000;
+};
+
+// TCP transport for genuine multi-process deployments ("manual networking
+// plumbing"). Frame format: u32 length, u32 destination endpoint id,
+// EncodeMessage payload. Each accepted connection gets a reader thread;
+// inbound messages are dispatched on a per-process dispatcher thread so
+// handler execution is serialized the same way as ThreadNet mailboxes.
+class TcpNet : public Network {
+ public:
+  explicit TcpNet(TcpNetOptions options, Metrics* metrics = nullptr);
+  ~TcpNet() override;
+
+  TcpNet(const TcpNet&) = delete;
+  TcpNet& operator=(const TcpNet&) = delete;
+
+  void RegisterEndpoint(NodeId id, MessageHandler handler) override;
+  void Send(NodeId to, Message msg) override;
+  void ScheduleAfter(Micros delay, std::function<void()> fn) override;
+  Micros Now() const override;
+
+  // Binds the listen socket and starts accept/dispatch/timer threads.
+  Status Start();
+  void Stop();
+
+ private:
+  struct Inbound {
+    NodeId to;
+    Message msg;
+  };
+
+  void AcceptLoop();
+  void ReaderLoop(int fd);
+  void DispatchLoop();
+  void TimerLoop();
+  // Returns a connected fd for `to` (cached), or -1.
+  int ConnectionTo(NodeId to);
+
+  TcpNetOptions options_;
+  Metrics* metrics_;
+  std::unordered_map<NodeId, MessageHandler> handlers_;
+
+  std::atomic<bool> stopping_{false};
+  int listen_fd_ = -1;
+  std::thread accept_thread_;
+  std::vector<std::thread> reader_threads_;
+  std::vector<int> accepted_fds_;  // shut down in Stop() to unblock readers
+  std::mutex readers_mu_;
+
+  BlockingQueue<Inbound> inbound_;
+  std::thread dispatch_thread_;
+
+  std::mutex conn_mu_;
+  std::unordered_map<NodeId, int> connections_;
+  std::mutex write_mu_;  // serializes frame writes across all sockets
+
+  std::mutex timer_mu_;
+  std::condition_variable timer_cv_;
+  std::multimap<Micros, std::function<void()>> timers_;
+  bool timer_stop_ = false;
+  std::thread timer_thread_;
+};
+
+}  // namespace threev
+
+#endif  // THREEV_NET_TCP_NET_H_

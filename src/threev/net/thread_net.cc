@@ -1,0 +1,103 @@
+#include "threev/net/thread_net.h"
+
+#include <chrono>
+
+#include "threev/common/logging.h"
+
+namespace threev {
+
+ThreadNet::ThreadNet(ThreadNetOptions options, Metrics* metrics)
+    : options_(options), metrics_(metrics) {}
+
+ThreadNet::~ThreadNet() { Stop(); }
+
+Micros ThreadNet::Now() const { return RealClock::Instance().Now(); }
+
+void ThreadNet::RegisterEndpoint(NodeId id, MessageHandler handler) {
+  THREEV_CHECK(!started_) << "register endpoints before Start()";
+  auto ep = std::make_unique<Endpoint>();
+  ep->handler = std::move(handler);
+  endpoints_[id] = std::move(ep);
+}
+
+void ThreadNet::Start() {
+  THREEV_CHECK(!started_);
+  started_ = true;
+  for (auto& [id, ep] : endpoints_) {
+    Endpoint* e = ep.get();
+    e->worker = std::thread([e] {
+      while (auto msg = e->mailbox.Pop()) {
+        e->handler(*msg);
+      }
+    });
+  }
+  timer_thread_ = std::thread([this] { TimerLoop(); });
+}
+
+void ThreadNet::Stop() {
+  if (!started_ || stopped_) return;
+  stopped_ = true;
+  {
+    std::lock_guard<std::mutex> lock(timer_mu_);
+    timer_stop_ = true;
+  }
+  timer_cv_.notify_all();
+  if (timer_thread_.joinable()) timer_thread_.join();
+  for (auto& [id, ep] : endpoints_) ep->mailbox.Close();
+  for (auto& [id, ep] : endpoints_) {
+    if (ep->worker.joinable()) ep->worker.join();
+  }
+}
+
+void ThreadNet::Send(NodeId to, Message msg) {
+  if (metrics_ != nullptr) {
+    metrics_->messages_sent.fetch_add(1, std::memory_order_relaxed);
+    metrics_->bytes_sent.fetch_add(static_cast<int64_t>(msg.ApproxBytes()),
+                                   std::memory_order_relaxed);
+  }
+  auto it = endpoints_.find(to);
+  THREEV_CHECK(it != endpoints_.end()) << "no endpoint " << to;
+  Endpoint* ep = it->second.get();
+  if (options_.delivery_delay > 0) {
+    // Route through the timer thread so the sender does not sleep. FIFO is
+    // preserved because all delayed deliveries use the same fixed delay and
+    // the timer multimap is stable for equal keys.
+    ScheduleAfter(options_.delivery_delay, [ep, m = std::move(msg)]() mutable {
+      ep->mailbox.Push(std::move(m));
+    });
+  } else {
+    ep->mailbox.Push(std::move(msg));
+  }
+}
+
+void ThreadNet::ScheduleAfter(Micros delay, std::function<void()> fn) {
+  {
+    std::lock_guard<std::mutex> lock(timer_mu_);
+    if (timer_stop_) return;
+    timers_.emplace(Now() + delay, std::move(fn));
+  }
+  timer_cv_.notify_all();
+}
+
+void ThreadNet::TimerLoop() {
+  std::unique_lock<std::mutex> lock(timer_mu_);
+  while (!timer_stop_) {
+    if (timers_.empty()) {
+      timer_cv_.wait(lock);
+      continue;
+    }
+    Micros next = timers_.begin()->first;
+    Micros now = Now();
+    if (now < next) {
+      timer_cv_.wait_for(lock, std::chrono::microseconds(next - now));
+      continue;
+    }
+    auto fn = std::move(timers_.begin()->second);
+    timers_.erase(timers_.begin());
+    lock.unlock();
+    fn();
+    lock.lock();
+  }
+}
+
+}  // namespace threev

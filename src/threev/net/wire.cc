@@ -1,0 +1,197 @@
+#include "threev/net/wire.h"
+
+#include <cstring>
+
+namespace threev {
+
+void WireWriter::U8(uint8_t v) { buf_.push_back(v); }
+
+void WireWriter::U32(uint32_t v) {
+  for (int i = 0; i < 4; ++i) buf_.push_back(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+void WireWriter::U64(uint64_t v) {
+  for (int i = 0; i < 8; ++i) buf_.push_back(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+void WireWriter::Str(const std::string& s) {
+  U32(static_cast<uint32_t>(s.size()));
+  buf_.insert(buf_.end(), s.begin(), s.end());
+}
+
+bool WireReader::Need(size_t n) {
+  if (!ok_ || size_ - pos_ < n) {
+    ok_ = false;
+    return false;
+  }
+  return true;
+}
+
+uint8_t WireReader::U8() {
+  if (!Need(1)) return 0;
+  return data_[pos_++];
+}
+
+uint32_t WireReader::U32() {
+  if (!Need(4)) return 0;
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<uint32_t>(data_[pos_++]) << (8 * i);
+  return v;
+}
+
+uint64_t WireReader::U64() {
+  if (!Need(8)) return 0;
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<uint64_t>(data_[pos_++]) << (8 * i);
+  return v;
+}
+
+std::string WireReader::Str() {
+  uint32_t n = U32();
+  if (!Need(n)) return "";
+  std::string s(reinterpret_cast<const char*>(data_ + pos_), n);
+  pos_ += n;
+  return s;
+}
+
+namespace {
+
+void EncodeValue(WireWriter& w, const Value& v) {
+  w.I64(v.num);
+  w.U32(static_cast<uint32_t>(v.ids.size()));
+  for (uint64_t id : v.ids) w.U64(id);
+  w.Str(v.str);
+}
+
+Value DecodeValue(WireReader& r) {
+  Value v;
+  v.num = r.I64();
+  uint32_t n = r.U32();
+  // Defensive bound: a malformed length must not cause a huge allocation.
+  if (n > (1u << 24)) n = 0;
+  v.ids.reserve(n);
+  for (uint32_t i = 0; i < n && r.ok(); ++i) v.ids.push_back(r.U64());
+  v.str = r.Str();
+  return v;
+}
+
+void EncodePlan(WireWriter& w, const SubtxnPlan& plan) {
+  w.U32(plan.node);
+  w.U32(static_cast<uint32_t>(plan.ops.size()));
+  for (const auto& op : plan.ops) {
+    w.U8(static_cast<uint8_t>(op.kind));
+    w.Str(op.key);
+    w.I64(op.arg);
+    w.Str(op.payload);
+  }
+  w.U32(static_cast<uint32_t>(plan.children.size()));
+  for (const auto& c : plan.children) EncodePlan(w, c);
+}
+
+SubtxnPlan DecodePlan(WireReader& r, int depth = 0) {
+  SubtxnPlan plan;
+  if (depth > 64) return plan;  // malformed recursion guard
+  plan.node = r.U32();
+  uint32_t nops = r.U32();
+  if (nops > (1u << 20)) nops = 0;
+  plan.ops.reserve(nops);
+  for (uint32_t i = 0; i < nops && r.ok(); ++i) {
+    Operation op;
+    op.kind = static_cast<OpKind>(r.U8());
+    op.key = r.Str();
+    op.arg = r.I64();
+    op.payload = r.Str();
+    plan.ops.push_back(std::move(op));
+  }
+  uint32_t nchildren = r.U32();
+  if (nchildren > (1u << 16)) nchildren = 0;
+  for (uint32_t i = 0; i < nchildren && r.ok(); ++i) {
+    plan.children.push_back(DecodePlan(r, depth + 1));
+  }
+  return plan;
+}
+
+}  // namespace
+
+std::vector<uint8_t> EncodeMessage(const Message& msg) {
+  WireWriter w;
+  w.U8(static_cast<uint8_t>(msg.type));
+  w.U32(msg.from);
+  w.U64(msg.txn);
+  w.U64(msg.subtxn);
+  w.U64(msg.parent_subtxn);
+  w.U32(msg.version);
+  w.U64(msg.seq);
+  w.Bool(msg.flag);
+  w.U8(msg.klass);
+  w.U32(msg.origin);
+  EncodePlan(w, msg.plan);
+  w.U32(static_cast<uint32_t>(msg.spawned.size()));
+  for (SubtxnId id : msg.spawned) w.U64(id);
+  w.U32(static_cast<uint32_t>(msg.reads.size()));
+  for (const auto& [key, value] : msg.reads) {
+    w.Str(key);
+    EncodeValue(w, value);
+  }
+  w.U32(static_cast<uint32_t>(msg.counters_r.size()));
+  for (const auto& [node, count] : msg.counters_r) {
+    w.U32(node);
+    w.I64(count);
+  }
+  w.U32(static_cast<uint32_t>(msg.counters_c.size()));
+  for (const auto& [node, count] : msg.counters_c) {
+    w.U32(node);
+    w.I64(count);
+  }
+  w.U8(static_cast<uint8_t>(msg.status_code));
+  w.Str(msg.status_msg);
+  return w.Take();
+}
+
+Result<Message> DecodeMessage(const uint8_t* data, size_t size) {
+  WireReader r(data, size);
+  Message msg;
+  msg.type = static_cast<MsgType>(r.U8());
+  msg.from = r.U32();
+  msg.txn = r.U64();
+  msg.subtxn = r.U64();
+  msg.parent_subtxn = r.U64();
+  msg.version = r.U32();
+  msg.seq = r.U64();
+  msg.flag = r.Bool();
+  msg.klass = r.U8();
+  msg.origin = r.U32();
+  msg.plan = DecodePlan(r);
+  uint32_t nspawned = r.U32();
+  if (nspawned > (1u << 20)) nspawned = 0;
+  for (uint32_t i = 0; i < nspawned && r.ok(); ++i) {
+    msg.spawned.push_back(r.U64());
+  }
+  uint32_t nreads = r.U32();
+  if (nreads > (1u << 20)) nreads = 0;
+  for (uint32_t i = 0; i < nreads && r.ok(); ++i) {
+    std::string key = r.Str();
+    msg.reads.emplace_back(std::move(key), DecodeValue(r));
+  }
+  uint32_t nr = r.U32();
+  if (nr > (1u << 20)) nr = 0;
+  for (uint32_t i = 0; i < nr && r.ok(); ++i) {
+    NodeId node = r.U32();
+    int64_t count = r.I64();
+    msg.counters_r.emplace_back(node, count);
+  }
+  uint32_t nc = r.U32();
+  if (nc > (1u << 20)) nc = 0;
+  for (uint32_t i = 0; i < nc && r.ok(); ++i) {
+    NodeId node = r.U32();
+    int64_t count = r.I64();
+    msg.counters_c.emplace_back(node, count);
+  }
+  msg.status_code = static_cast<StatusCode>(r.U8());
+  msg.status_msg = r.Str();
+  if (!r.ok()) return Status::IoError("truncated message");
+  if (!r.AtEnd()) return Status::IoError("trailing bytes in message");
+  return msg;
+}
+
+}  // namespace threev

@@ -1,0 +1,65 @@
+#ifndef THREEV_NET_WIRE_H_
+#define THREEV_NET_WIRE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "threev/common/status.h"
+#include "threev/net/message.h"
+
+namespace threev {
+
+// Little-endian binary writer for the TCP wire format. Simple and
+// self-describing enough for a homogeneous deployment: fields are written
+// in a fixed order per message type; strings/vectors are length-prefixed.
+class WireWriter {
+ public:
+  void U8(uint8_t v);
+  void U32(uint32_t v);
+  void U64(uint64_t v);
+  void I64(int64_t v) { U64(static_cast<uint64_t>(v)); }
+  void Bool(bool v) { U8(v ? 1 : 0); }
+  void Str(const std::string& s);
+
+  const std::vector<uint8_t>& buffer() const { return buf_; }
+  std::vector<uint8_t> Take() { return std::move(buf_); }
+
+ private:
+  std::vector<uint8_t> buf_;
+};
+
+// Matching reader. All methods fail (set !ok()) on truncation instead of
+// reading out of bounds; callers check ok() once at the end.
+class WireReader {
+ public:
+  WireReader(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+
+  uint8_t U8();
+  uint32_t U32();
+  uint64_t U64();
+  int64_t I64() { return static_cast<int64_t>(U64()); }
+  bool Bool() { return U8() != 0; }
+  std::string Str();
+
+  bool ok() const { return ok_; }
+  bool AtEnd() const { return pos_ == size_; }
+
+ private:
+  bool Need(size_t n);
+
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+// Serializes a Message (including its plan tree and all payloads).
+std::vector<uint8_t> EncodeMessage(const Message& msg);
+
+// Deserializes; fails on truncated or malformed input.
+Result<Message> DecodeMessage(const uint8_t* data, size_t size);
+
+}  // namespace threev
+
+#endif  // THREEV_NET_WIRE_H_

@@ -1,0 +1,65 @@
+#include "threev/sim/event_loop.h"
+
+#include <algorithm>
+
+namespace threev {
+
+uint64_t EventLoop::ScheduleAt(Micros when, std::function<void()> fn) {
+  if (when < now_) when = now_;
+  uint64_t id = next_id_++;
+  queue_.push(Event{when, next_seq_++, id, std::move(fn)});
+  return id;
+}
+
+uint64_t EventLoop::ScheduleAfter(Micros delay, std::function<void()> fn) {
+  return ScheduleAt(now_ + (delay < 0 ? 0 : delay), std::move(fn));
+}
+
+void EventLoop::Cancel(uint64_t id) {
+  cancelled_.push_back(id);
+  ++cancelled_count_;
+}
+
+bool EventLoop::PopAndRun(Micros deadline, bool has_deadline) {
+  while (!queue_.empty()) {
+    const Event& top = queue_.top();
+    if (has_deadline && top.when > deadline) return false;
+    Event ev{top.when, top.seq, top.id, std::move(const_cast<Event&>(top).fn)};
+    queue_.pop();
+    auto it = std::find(cancelled_.begin(), cancelled_.end(), ev.id);
+    if (it != cancelled_.end()) {
+      cancelled_.erase(it);
+      --cancelled_count_;
+      continue;  // skip cancelled event
+    }
+    now_ = ev.when;
+    ev.fn();
+    return true;
+  }
+  return false;
+}
+
+size_t EventLoop::Run() {
+  size_t n = 0;
+  while (PopAndRun(0, /*has_deadline=*/false)) ++n;
+  return n;
+}
+
+bool EventLoop::RunUntil(const std::function<bool()>& pred) {
+  while (!pred()) {
+    if (!PopAndRun(0, /*has_deadline=*/false)) return pred();
+  }
+  return true;
+}
+
+size_t EventLoop::RunFor(Micros duration) {
+  Micros deadline = now_ + duration;
+  size_t n = 0;
+  while (PopAndRun(deadline, /*has_deadline=*/true)) ++n;
+  if (now_ < deadline) now_ = deadline;
+  return n;
+}
+
+bool EventLoop::Step() { return PopAndRun(0, /*has_deadline=*/false); }
+
+}  // namespace threev

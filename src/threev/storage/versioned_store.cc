@@ -1,0 +1,245 @@
+#include "threev/storage/versioned_store.h"
+
+#include <algorithm>
+#include <functional>
+
+namespace threev {
+
+int VersionedStore::Record::FindLE(Version v) const {
+  int best = -1;
+  for (size_t i = 0; i < versions.size(); ++i) {
+    if (versions[i].first <= v) best = static_cast<int>(i);
+  }
+  return best;
+}
+
+int VersionedStore::Record::FindExact(Version v) const {
+  for (size_t i = 0; i < versions.size(); ++i) {
+    if (versions[i].first == v) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+VersionedStore::VersionedStore(Metrics* metrics) : metrics_(metrics) {}
+
+VersionedStore::Shard& VersionedStore::ShardFor(const std::string& key) {
+  return shards_[std::hash<std::string>{}(key) % kNumShards];
+}
+const VersionedStore::Shard& VersionedStore::ShardFor(
+    const std::string& key) const {
+  return shards_[std::hash<std::string>{}(key) % kNumShards];
+}
+
+void VersionedStore::NoteVersionCount(size_t n) {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  if (n > max_versions_observed_) max_versions_observed_ = n;
+}
+
+void VersionedStore::Seed(const std::string& key, Value value,
+                          Version version) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  Record& rec = shard.records[key];
+  int idx = rec.FindExact(version);
+  if (idx >= 0) {
+    rec.versions[idx].second = std::move(value);
+  } else {
+    rec.versions.emplace_back(version, std::move(value));
+    std::sort(rec.versions.begin(), rec.versions.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+  }
+}
+
+Result<Value> VersionedStore::Read(const std::string& key,
+                                   Version max_version) const {
+  const Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.records.find(key);
+  if (it == shard.records.end()) return Status::NotFound(key);
+  int idx = it->second.FindLE(max_version);
+  if (idx < 0) return Status::NotFound(key + " has no version <= " +
+                                       std::to_string(max_version));
+  return it->second.versions[idx].second;
+}
+
+std::vector<std::pair<std::string, Value>> VersionedStore::ScanPrefix(
+    const std::string& prefix, Version max_version) const {
+  std::vector<std::pair<std::string, Value>> out;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (const auto& [key, rec] : shard.records) {
+      if (key.compare(0, prefix.size(), prefix) != 0) continue;
+      int idx = rec.FindLE(max_version);
+      if (idx >= 0) out.emplace_back(key, rec.versions[idx].second);
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return out;
+}
+
+Result<int> VersionedStore::Update(const std::string& key, Version version,
+                                   const Operation& op) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  Record& rec = shard.records[key];
+
+  // Atomic check-and-create of key(version): copy the maximum existing
+  // version <= `version`, or start from an empty value for a fresh key.
+  if (rec.FindExact(version) < 0) {
+    int src = rec.FindLE(version);
+    Value copy = (src >= 0) ? rec.versions[src].second : Value{};
+    if (src >= 0 && metrics_ != nullptr) {
+      metrics_->version_copies.fetch_add(1, std::memory_order_relaxed);
+      metrics_->bytes_copied.fetch_add(
+          static_cast<int64_t>(copy.ByteSize()), std::memory_order_relaxed);
+    }
+    rec.versions.emplace_back(version, std::move(copy));
+    std::sort(rec.versions.begin(), rec.versions.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+  }
+
+  // Apply to every version >= `version` (Section 4.1 step 4). When newer
+  // versions exist this straggler write lands in both copies, keeping the
+  // new version consistent with the old one.
+  int applied = 0;
+  for (auto& [v, value] : rec.versions) {
+    if (v >= version) {
+      op.ApplyTo(value);
+      ++applied;
+    }
+  }
+  if (applied > 1 && metrics_ != nullptr) {
+    metrics_->dual_version_writes.fetch_add(applied - 1,
+                                            std::memory_order_relaxed);
+  }
+  NoteVersionCount(rec.versions.size());
+  return applied;
+}
+
+Status VersionedStore::UpdateExact(const std::string& key, Version version,
+                                   const Operation& op, UndoEntry* undo) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  Record& rec = shard.records[key];
+
+  // NC3V step 4: abort if the item already exists in a newer version (a
+  // concurrent transaction of a later version has touched it; serializing
+  // this transaction before it would be incorrect).
+  if (!rec.versions.empty() && rec.versions.back().first > version) {
+    return Status::Aborted(key + " exists in version " +
+                           std::to_string(rec.versions.back().first) + " > " +
+                           std::to_string(version));
+  }
+
+  undo->key = key;
+  undo->version = version;
+  int idx = rec.FindExact(version);
+  if (idx < 0) {
+    int src = rec.FindLE(version);
+    Value copy = (src >= 0) ? rec.versions[src].second : Value{};
+    if (src >= 0 && metrics_ != nullptr) {
+      metrics_->version_copies.fetch_add(1, std::memory_order_relaxed);
+      metrics_->bytes_copied.fetch_add(
+          static_cast<int64_t>(copy.ByteSize()), std::memory_order_relaxed);
+    }
+    rec.versions.emplace_back(version, std::move(copy));
+    idx = static_cast<int>(rec.versions.size()) - 1;
+    undo->created = true;
+  } else {
+    undo->created = false;
+    undo->prior = rec.versions[idx].second;
+  }
+  op.ApplyTo(rec.versions[idx].second);
+  NoteVersionCount(rec.versions.size());
+  return Status::Ok();
+}
+
+void VersionedStore::Undo(const UndoEntry& undo) {
+  Shard& shard = ShardFor(undo.key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.records.find(undo.key);
+  if (it == shard.records.end()) return;
+  Record& rec = it->second;
+  int idx = rec.FindExact(undo.version);
+  if (idx < 0) return;
+  if (undo.created) {
+    rec.versions.erase(rec.versions.begin() + idx);
+    if (rec.versions.empty()) shard.records.erase(it);
+  } else {
+    rec.versions[idx].second = undo.prior;
+  }
+}
+
+void VersionedStore::GarbageCollect(Version vr_new) {
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (auto& [key, rec] : shard.records) {
+      if (rec.FindExact(vr_new) >= 0) {
+        // Drop every version older than vr_new.
+        rec.versions.erase(
+            std::remove_if(rec.versions.begin(), rec.versions.end(),
+                           [&](const auto& p) { return p.first < vr_new; }),
+            rec.versions.end());
+      } else {
+        // Relabel the latest version older than vr_new as vr_new, dropping
+        // anything before it.
+        int idx = rec.FindLE(vr_new);
+        if (idx >= 0) {
+          rec.versions[idx].first = vr_new;
+          rec.versions.erase(rec.versions.begin(),
+                             rec.versions.begin() + idx);
+        }
+      }
+    }
+  }
+}
+
+std::vector<Version> VersionedStore::VersionsOf(const std::string& key) const {
+  const Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  std::vector<Version> out;
+  auto it = shard.records.find(key);
+  if (it != shard.records.end()) {
+    for (const auto& [v, value] : it->second.versions) out.push_back(v);
+  }
+  return out;
+}
+
+std::map<Version, Value> VersionedStore::DumpItem(
+    const std::string& key) const {
+  const Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  std::map<Version, Value> out;
+  auto it = shard.records.find(key);
+  if (it != shard.records.end()) {
+    for (const auto& [v, value] : it->second.versions) out[v] = value;
+  }
+  return out;
+}
+
+std::vector<std::string> VersionedStore::Keys() const {
+  std::vector<std::string> out;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (const auto& [key, rec] : shard.records) out.push_back(key);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+size_t VersionedStore::KeyCount() const {
+  size_t n = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    n += shard.records.size();
+  }
+  return n;
+}
+
+size_t VersionedStore::MaxVersionsObserved() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return max_versions_observed_;
+}
+
+}  // namespace threev

@@ -1,0 +1,129 @@
+#ifndef THREEV_STORAGE_VERSIONED_STORE_H_
+#define THREEV_STORAGE_VERSIONED_STORE_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "threev/common/ids.h"
+#include "threev/common/status.h"
+#include "threev/metrics/metrics.h"
+#include "threev/txn/operation.h"
+
+namespace threev {
+
+// Undo information for one non-commuting update, replayed in reverse on
+// abort (NC3V rollback; Section 3.2 treats well-behaved aborts via
+// compensating subtransactions instead).
+struct UndoEntry {
+  std::string key;
+  Version version = 0;
+  bool created = false;  // the version copy was created by this update
+  Value prior;           // value before the update (unused if created)
+};
+
+// In-memory multiversioned key-value store for one node.
+//
+// Implements exactly the data rules of Section 4 of the paper:
+//  * Read(k, v): the maximum existing version of k that does not exceed v.
+//  * Update(k, v, op): atomically check-and-create k(v) by copying the
+//    maximum existing version <= v ("copy on update"), then apply op to
+//    every version >= v (this is what keeps an old-version straggler's
+//    effect visible in the newer version too - the "dual write").
+//  * UpdateExact(k, v, op): the NC3V variant - fails if any version > v
+//    exists, creates k(v) if needed, applies only to k(v).
+//  * GarbageCollect(vr_new): for every item, if k(vr_new) exists drop all
+//    earlier versions, else relabel the latest earlier version as vr_new.
+//
+// Thread-safe via sharded mutexes; an update (check-create + apply) is one
+// atomic step per the paper's requirement. Tracks the maximum number of
+// simultaneous versions ever observed (the paper proves <= 3).
+class VersionedStore {
+ public:
+  // `metrics` (optional, unowned) receives copy-on-update accounting.
+  explicit VersionedStore(Metrics* metrics = nullptr);
+
+  VersionedStore(const VersionedStore&) = delete;
+  VersionedStore& operator=(const VersionedStore&) = delete;
+
+  // Installs initial data at `version` (typically 0), replacing any
+  // existing copy of that version.
+  void Seed(const std::string& key, Value value, Version version = 0);
+
+  // Reads the maximum existing version of `key` not exceeding `max_version`.
+  // NotFound if the key does not exist or has only newer versions.
+  Result<Value> Read(const std::string& key, Version max_version) const;
+
+  // Reads every key starting with `prefix`, each at its maximum existing
+  // version not exceeding `max_version`; keys with no such version are
+  // skipped. Sorted by key. Serves audit/bill-generation scans of
+  // read-only transactions (which run against a frozen version, so the
+  // scan is stable without any locking).
+  std::vector<std::pair<std::string, Value>> ScanPrefix(
+      const std::string& prefix, Version max_version) const;
+
+  // 3V update (Section 4.1, step 4). Returns the number of version copies
+  // the operation was applied to (>= 1; > 1 is a straggler dual-write).
+  // Creates the key (empty value) if it does not exist at all.
+  Result<int> Update(const std::string& key, Version version,
+                     const Operation& op);
+
+  // NC3V update (Section 5, step 4): aborts with kAborted if a version
+  // greater than `version` exists; otherwise check-and-create k(version)
+  // and apply `op` to that version only. Fills `undo` (required).
+  Status UpdateExact(const std::string& key, Version version,
+                     const Operation& op, UndoEntry* undo);
+
+  // Reverts one UpdateExact.
+  void Undo(const UndoEntry& undo);
+
+  // Phase-4 garbage collection (Section 4.3).
+  void GarbageCollect(Version vr_new);
+
+  // --- Introspection (tests, invariant auditing, Figure 2 replay) --------
+
+  // Existing version numbers of `key`, ascending. Empty if unknown key.
+  std::vector<Version> VersionsOf(const std::string& key) const;
+
+  // Version -> value snapshot for one key.
+  std::map<Version, Value> DumpItem(const std::string& key) const;
+
+  std::vector<std::string> Keys() const;
+  size_t KeyCount() const;
+
+  // Maximum number of simultaneous versions of any single item ever
+  // observed on this store (the paper's bound is 3).
+  size_t MaxVersionsObserved() const;
+
+ private:
+  struct Record {
+    // Sorted ascending by version; tiny (<= 3 entries), so a flat vector.
+    std::vector<std::pair<Version, Value>> versions;
+
+    // Index of max version <= v, or -1.
+    int FindLE(Version v) const;
+    int FindExact(Version v) const;
+  };
+
+  static constexpr size_t kNumShards = 16;
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<std::string, Record> records;
+  };
+
+  Shard& ShardFor(const std::string& key);
+  const Shard& ShardFor(const std::string& key) const;
+  void NoteVersionCount(size_t n);
+
+  Metrics* metrics_;  // unowned, may be null
+  Shard shards_[kNumShards];
+  mutable std::mutex stats_mu_;
+  size_t max_versions_observed_ = 0;
+};
+
+}  // namespace threev
+
+#endif  // THREEV_STORAGE_VERSIONED_STORE_H_

@@ -1,0 +1,152 @@
+#include "threev/txn/operation.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace threev {
+
+bool Value::ContainsId(uint64_t id) const {
+  return std::find(ids.begin(), ids.end(), id) != ids.end();
+}
+
+std::string Value::ToString() const {
+  std::ostringstream os;
+  os << "{num=" << num;
+  if (!ids.empty()) {
+    os << " ids=[";
+    for (size_t i = 0; i < ids.size(); ++i) {
+      if (i) os << ",";
+      os << ids[i];
+    }
+    os << "]";
+  }
+  if (!str.empty()) os << " str=\"" << str << "\"";
+  os << "}";
+  return os.str();
+}
+
+const char* OpKindName(OpKind kind) {
+  switch (kind) {
+    case OpKind::kGet:
+      return "Get";
+    case OpKind::kAdd:
+      return "Add";
+    case OpKind::kInsert:
+      return "Insert";
+    case OpKind::kRemove:
+      return "Remove";
+    case OpKind::kPut:
+      return "Put";
+    case OpKind::kMultiply:
+      return "Multiply";
+    case OpKind::kScan:
+      return "Scan";
+  }
+  return "?";
+}
+
+bool OpWrites(OpKind kind) {
+  return kind != OpKind::kGet && kind != OpKind::kScan;
+}
+
+bool OpIsCommuting(OpKind kind) {
+  switch (kind) {
+    case OpKind::kGet:
+    case OpKind::kScan:
+    case OpKind::kAdd:
+    case OpKind::kInsert:
+    case OpKind::kRemove:
+      return true;
+    case OpKind::kPut:
+    case OpKind::kMultiply:
+      return false;
+  }
+  return false;
+}
+
+void Operation::ApplyTo(Value& v) const {
+  switch (kind) {
+    case OpKind::kGet:
+    case OpKind::kScan:
+      break;
+    case OpKind::kAdd:
+      v.num += arg;
+      break;
+    case OpKind::kInsert:
+      if (!v.ContainsId(static_cast<uint64_t>(arg))) {
+        v.ids.push_back(static_cast<uint64_t>(arg));
+      }
+      break;
+    case OpKind::kRemove: {
+      auto it = std::find(v.ids.begin(), v.ids.end(),
+                          static_cast<uint64_t>(arg));
+      if (it != v.ids.end()) v.ids.erase(it);
+      break;
+    }
+    case OpKind::kPut:
+      v.str = payload;
+      break;
+    case OpKind::kMultiply:
+      v.num *= arg;
+      break;
+  }
+}
+
+bool Operation::Invert(Operation& out) const {
+  switch (kind) {
+    case OpKind::kAdd:
+      out = OpAdd(key, -arg);
+      return true;
+    case OpKind::kInsert:
+      out = OpRemove(key, static_cast<uint64_t>(arg));
+      return true;
+    case OpKind::kRemove:
+      out = OpInsert(key, static_cast<uint64_t>(arg));
+      return true;
+    case OpKind::kGet:
+    case OpKind::kScan:
+    case OpKind::kPut:
+    case OpKind::kMultiply:
+      return false;
+  }
+  return false;
+}
+
+std::string Operation::ToString() const {
+  std::ostringstream os;
+  os << OpKindName(kind) << "(" << key;
+  if (kind == OpKind::kAdd || kind == OpKind::kInsert ||
+      kind == OpKind::kRemove || kind == OpKind::kMultiply) {
+    os << "," << arg;
+  } else if (kind == OpKind::kPut) {
+    os << ",\"" << payload << "\"";
+  }
+  os << ")";
+  return os.str();
+}
+
+Operation OpGet(std::string key) {
+  return Operation{OpKind::kGet, std::move(key), 0, ""};
+}
+Operation OpScan(std::string prefix) {
+  return Operation{OpKind::kScan, std::move(prefix), 0, ""};
+}
+Operation OpAdd(std::string key, int64_t delta) {
+  return Operation{OpKind::kAdd, std::move(key), delta, ""};
+}
+Operation OpInsert(std::string key, uint64_t id) {
+  return Operation{OpKind::kInsert, std::move(key), static_cast<int64_t>(id),
+                   ""};
+}
+Operation OpRemove(std::string key, uint64_t id) {
+  return Operation{OpKind::kRemove, std::move(key), static_cast<int64_t>(id),
+                   ""};
+}
+Operation OpPut(std::string key, std::string value) {
+  return Operation{OpKind::kPut, std::move(key), 0, std::move(value)};
+}
+Operation OpMultiply(std::string key, int64_t factor) {
+  return Operation{OpKind::kMultiply, std::move(key), factor, ""};
+}
+
+}  // namespace threev

@@ -1,0 +1,105 @@
+#ifndef THREEV_TXN_OPERATION_H_
+#define THREEV_TXN_OPERATION_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace threev {
+
+// The value stored for a data item. Data recording systems keep running
+// summaries plus recorded observations (Section 6 of the paper); we model
+// both in one record:
+//   num - a numeric summary (account balance, items sold). Updated by kAdd.
+//   ids - a set of recorded observation ids (call records, visit charges).
+//         Updated by kInsert / kRemove. Set semantics => commuting.
+//   str - an opaque payload. Updated by kPut (non-commuting overwrite);
+//         also used by benches to inflate record size for copy-cost studies.
+struct Value {
+  int64_t num = 0;
+  std::vector<uint64_t> ids;
+  std::string str;
+
+  size_t ByteSize() const { return 8 + ids.size() * 8 + str.size(); }
+
+  // Whether `id` is present in the ids set.
+  bool ContainsId(uint64_t id) const;
+
+  std::string ToString() const;
+
+  friend bool operator==(const Value& a, const Value& b) {
+    return a.num == b.num && a.ids == b.ids && a.str == b.str;
+  }
+};
+
+// Primitive operations a subtransaction performs on its node's data.
+//
+// Commutativity classification (per Definition 3.1, applied to the
+// operations our workloads use):
+//   kGet            read-only.
+//   kAdd            commutes with kAdd / kInsert / kRemove.
+//   kInsert/kRemove commute with each other (set semantics; ids are unique
+//                   per transaction so remove never races an insert of the
+//                   same id from a different transaction).
+//   kPut, kMultiply do NOT commute with kAdd/kPut; transactions containing
+//                   them must be declared TxnClass::kNonCommuting and run
+//                   through the NC3V path (Section 5).
+enum class OpKind : uint8_t {
+  kGet = 0,
+  kAdd = 1,
+  kInsert = 2,
+  kRemove = 3,
+  kPut = 4,
+  kMultiply = 5,
+  // Prefix scan: reads every record whose key starts with `key`, at the
+  // transaction's version (bill generation, audits). Only permitted in
+  // read-only transactions: they run against a frozen version so no
+  // predicate locking is needed; inside update or non-commuting
+  // transactions a scan would require phantom protection, which the 3V
+  // model does not provide (TxnSpec::Validate rejects it).
+  kScan = 6,
+};
+
+const char* OpKindName(OpKind kind);
+
+// Whether an operation of this kind writes the record.
+bool OpWrites(OpKind kind);
+
+// Whether the operation commutes with every other commuting-class operation
+// (i.e., is allowed inside a well-behaved transaction).
+bool OpIsCommuting(OpKind kind);
+
+struct Operation {
+  OpKind kind = OpKind::kGet;
+  std::string key;
+  int64_t arg = 0;      // kAdd: delta; kInsert/kRemove: id; kMultiply: factor
+  std::string payload;  // kPut: new str value
+
+  // Applies this operation to `v` in place. kGet is a no-op here (reads are
+  // collected by the executor).
+  void ApplyTo(Value& v) const;
+
+  // Returns the inverse operation for compensation. kPut/kMultiply and kGet
+  // have no context-free inverse and return false.
+  bool Invert(Operation& out) const;
+
+  std::string ToString() const;
+
+  friend bool operator==(const Operation& a, const Operation& b) {
+    return a.kind == b.kind && a.key == b.key && a.arg == b.arg &&
+           a.payload == b.payload;
+  }
+};
+
+// Convenience constructors.
+Operation OpGet(std::string key);
+Operation OpScan(std::string prefix);
+Operation OpAdd(std::string key, int64_t delta);
+Operation OpInsert(std::string key, uint64_t id);
+Operation OpRemove(std::string key, uint64_t id);
+Operation OpPut(std::string key, std::string value);
+Operation OpMultiply(std::string key, int64_t factor);
+
+}  // namespace threev
+
+#endif  // THREEV_TXN_OPERATION_H_

@@ -1,0 +1,140 @@
+#include "threev/txn/plan.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace threev {
+
+size_t SubtxnPlan::CountSubtxns() const {
+  size_t n = 1;
+  for (const auto& c : children) n += c.CountSubtxns();
+  return n;
+}
+
+namespace {
+void CollectParticipants(const SubtxnPlan& plan, std::vector<NodeId>& out) {
+  out.push_back(plan.node);
+  for (const auto& c : plan.children) CollectParticipants(c, out);
+}
+
+bool PlanHasWrites(const SubtxnPlan& plan) {
+  for (const auto& op : plan.ops) {
+    if (OpWrites(op.kind)) return true;
+  }
+  for (const auto& c : plan.children) {
+    if (PlanHasWrites(c)) return true;
+  }
+  return false;
+}
+
+bool PlanAllCommuting(const SubtxnPlan& plan) {
+  for (const auto& op : plan.ops) {
+    if (!OpIsCommuting(op.kind)) return false;
+  }
+  for (const auto& c : plan.children) {
+    if (!PlanAllCommuting(c)) return false;
+  }
+  return true;
+}
+}  // namespace
+
+std::vector<NodeId> SubtxnPlan::Participants() const {
+  std::vector<NodeId> nodes;
+  CollectParticipants(*this, nodes);
+  std::sort(nodes.begin(), nodes.end());
+  nodes.erase(std::unique(nodes.begin(), nodes.end()), nodes.end());
+  return nodes;
+}
+
+Status SubtxnPlan::Validate(size_t num_nodes, bool require_commuting) const {
+  if (node >= num_nodes) {
+    return Status::InvalidArgument("subtransaction targets unknown node " +
+                                   std::to_string(node));
+  }
+  for (const auto& op : ops) {
+    if (op.key.empty()) {
+      return Status::InvalidArgument("operation with empty key");
+    }
+    if (require_commuting && !OpIsCommuting(op.kind)) {
+      return Status::InvalidArgument(
+          std::string("non-commuting op ") + OpKindName(op.kind) +
+          " in a well-behaved transaction; declare TxnClass::kNonCommuting");
+    }
+  }
+  for (const auto& c : children) {
+    Status s = c.Validate(num_nodes, require_commuting);
+    if (!s.ok()) return s;
+  }
+  return Status::Ok();
+}
+
+std::string SubtxnPlan::ToString(int indent) const {
+  std::ostringstream os;
+  std::string pad(indent * 2, ' ');
+  os << pad << "@node" << node << " [";
+  for (size_t i = 0; i < ops.size(); ++i) {
+    if (i) os << " ";
+    os << ops[i].ToString();
+  }
+  os << "]\n";
+  for (const auto& c : children) os << c.ToString(indent + 1);
+  return os.str();
+}
+
+void TxnSpec::DeduceFlags() {
+  read_only = !PlanHasWrites(root);
+  klass = PlanAllCommuting(root) ? TxnClass::kWellBehaved
+                                 : TxnClass::kNonCommuting;
+}
+
+namespace {
+bool PlanHasScans(const SubtxnPlan& plan) {
+  for (const auto& op : plan.ops) {
+    if (op.kind == OpKind::kScan) return true;
+  }
+  for (const auto& c : plan.children) {
+    if (PlanHasScans(c)) return true;
+  }
+  return false;
+}
+}  // namespace
+
+Status TxnSpec::Validate(size_t num_nodes) const {
+  if (read_only && PlanHasWrites(root)) {
+    return Status::InvalidArgument("read_only transaction contains writes");
+  }
+  if (!read_only && PlanHasScans(root)) {
+    // Scans are stable only against the frozen read version; inside an
+    // update (or non-commuting) transaction they would need phantom
+    // protection, which the 3V model does not provide.
+    return Status::InvalidArgument(
+        "kScan is only permitted in read-only transactions");
+  }
+  return root.Validate(num_nodes,
+                       /*require_commuting=*/klass == TxnClass::kWellBehaved);
+}
+
+Result<SubtxnPlan> MakeCompensationPlan(const SubtxnPlan& plan) {
+  SubtxnPlan comp;
+  comp.node = plan.node;
+  // Inverse operations in reverse order. (For commuting ops the order is
+  // immaterial, but reverse order is also correct for any future
+  // non-commuting invertible ops.)
+  for (auto it = plan.ops.rbegin(); it != plan.ops.rend(); ++it) {
+    if (it->kind == OpKind::kGet) continue;
+    Operation inv;
+    if (!it->Invert(inv)) {
+      return Status::InvalidArgument("operation " + it->ToString() +
+                                     " is not invertible");
+    }
+    comp.ops.push_back(std::move(inv));
+  }
+  for (const auto& c : plan.children) {
+    Result<SubtxnPlan> sub = MakeCompensationPlan(c);
+    if (!sub.ok()) return sub.status();
+    comp.children.push_back(std::move(sub).value());
+  }
+  return comp;
+}
+
+}  // namespace threev

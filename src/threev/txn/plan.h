@@ -1,0 +1,140 @@
+#ifndef THREEV_TXN_PLAN_H_
+#define THREEV_TXN_PLAN_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "threev/common/clock.h"
+#include "threev/common/ids.h"
+#include "threev/common/status.h"
+#include "threev/txn/operation.h"
+
+namespace threev {
+
+// A transaction is a tree of subtransactions (the tree model of [Mohan et
+// al., R*], Section 2.1 of the paper): the root subtransaction executes at
+// the origin node, then spawns child subtransactions at other (or the same)
+// nodes, which may spawn further children.
+//
+// Plans are declared up front: each subtransaction lists its operations and
+// its child plans. Declared plans let local lock acquisition order keys
+// deterministically (no local deadlock) and let the library derive
+// compensation plans mechanically.
+struct SubtxnPlan {
+  NodeId node = 0;
+  std::vector<Operation> ops;
+  std::vector<SubtxnPlan> children;
+
+  // Total number of subtransactions in this subtree (including itself).
+  size_t CountSubtxns() const;
+
+  // All distinct nodes visited by this subtree.
+  std::vector<NodeId> Participants() const;
+
+  // Validation: nodes in range, non-commuting ops flagged, etc.
+  Status Validate(size_t num_nodes, bool require_commuting) const;
+
+  std::string ToString(int indent = 0) const;
+};
+
+// How the transaction is handled by the system.
+enum class TxnClass : uint8_t {
+  // Update subtransactions commute with those of every other well-behaved
+  // transaction (Definition 3.1). Runs the 3V fast path: no global locks,
+  // no global commit.
+  kWellBehaved = 0,
+  // May contain non-commuting operations. Runs NC3V (Section 5): version
+  // gate, non-commuting locks, two-phase commit.
+  kNonCommuting = 1,
+};
+
+struct TxnSpec {
+  SubtxnPlan root;
+  bool read_only = false;
+  TxnClass klass = TxnClass::kWellBehaved;
+
+  // Computes read_only / klass from the ops (read_only if no op writes;
+  // non-commuting if any op is non-commuting).
+  void DeduceFlags();
+
+  Status Validate(size_t num_nodes) const;
+};
+
+// Outcome of a transaction, delivered to the submitting client when the
+// entire subtransaction tree has terminated (plus, for non-commuting
+// transactions, when two-phase commit has resolved).
+struct TxnResult {
+  TxnId id = 0;
+  Status status;
+  Version version = 0;  // version the transaction executed in
+  // Key -> value observed, merged over all subtransactions' kGet ops.
+  std::map<std::string, Value> reads;
+  Micros submit_time = 0;
+  Micros complete_time = 0;
+
+  Micros latency() const { return complete_time - submit_time; }
+};
+
+// Builds a compensating plan for an executed (or partially executed)
+// well-behaved plan: same tree shape, each operation replaced by its inverse
+// in reverse order, reads dropped. Fails if any op is non-invertible.
+Result<SubtxnPlan> MakeCompensationPlan(const SubtxnPlan& plan);
+
+// --- Small fluent builder used by examples/tests -------------------------
+//
+//   TxnSpec spec = TxnBuilder(/*origin=*/0)
+//                      .Add("alice.balance", 500)
+//                      .Child(1, {OpAdd("alice.radiology", 120)})
+//                      .Build();
+class TxnBuilder {
+ public:
+  explicit TxnBuilder(NodeId origin) { spec_.root.node = origin; }
+
+  TxnBuilder& Op(Operation op) {
+    spec_.root.ops.push_back(std::move(op));
+    return *this;
+  }
+  TxnBuilder& Add(std::string key, int64_t delta) {
+    return Op(OpAdd(std::move(key), delta));
+  }
+  TxnBuilder& Get(std::string key) { return Op(OpGet(std::move(key))); }
+  TxnBuilder& Scan(std::string prefix) {
+    return Op(OpScan(std::move(prefix)));
+  }
+  TxnBuilder& Insert(std::string key, uint64_t id) {
+    return Op(OpInsert(std::move(key), id));
+  }
+  TxnBuilder& Put(std::string key, std::string value) {
+    return Op(OpPut(std::move(key), std::move(value)));
+  }
+
+  // Adds a leaf child subtransaction at `node` with the given ops.
+  TxnBuilder& Child(NodeId node, std::vector<Operation> ops) {
+    SubtxnPlan child;
+    child.node = node;
+    child.ops = std::move(ops);
+    spec_.root.children.push_back(std::move(child));
+    return *this;
+  }
+
+  // Adds a fully formed child subtree.
+  TxnBuilder& ChildPlan(SubtxnPlan child) {
+    spec_.root.children.push_back(std::move(child));
+    return *this;
+  }
+
+  // Finalizes: deduces read_only / klass flags from the ops.
+  TxnSpec Build() {
+    spec_.DeduceFlags();
+    return spec_;
+  }
+
+ private:
+  TxnSpec spec_;
+};
+
+}  // namespace threev
+
+#endif  // THREEV_TXN_PLAN_H_

@@ -1,0 +1,180 @@
+#include "threev/verify/checker.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <sstream>
+#include <unordered_map>
+
+namespace threev {
+
+namespace {
+
+struct UpdateInfo {
+  TxnId txn = 0;
+  Version version = 0;
+  bool committed = false;
+  std::set<std::string> keys;  // record-log keys this update inserted into
+};
+
+void CollectInserts(const SubtxnPlan& plan,
+                    std::unordered_map<uint64_t, UpdateInfo>& index,
+                    const HistoryRecorder::TxnRecord& txn) {
+  for (const auto& op : plan.ops) {
+    if (op.kind == OpKind::kInsert) {
+      UpdateInfo& info = index[static_cast<uint64_t>(op.arg)];
+      info.txn = txn.id;
+      info.version = txn.version;
+      info.committed = txn.committed;
+      info.keys.insert(op.key);
+    }
+  }
+  for (const auto& child : plan.children) CollectInserts(child, index, txn);
+}
+
+void AddSample(CheckResult& result, const CheckerOptions& options,
+               const std::string& text) {
+  if (result.samples.size() < options.max_samples) {
+    result.samples.push_back(text);
+  }
+}
+
+}  // namespace
+
+std::string CheckResult::Summary() const {
+  std::ostringstream os;
+  os << "reads_checked=" << reads_checked
+     << " updates_indexed=" << updates_indexed
+     << " partial_visibility=" << partial_visibility
+     << " aborted_visible=" << aborted_visible
+     << " version_cut_violations=" << version_cut_violations
+     << " nonmonotonic_reads=" << nonmonotonic_reads
+     << (ok() ? " [OK]" : " [ANOMALIES]");
+  return os.str();
+}
+
+CheckResult CheckHistory(const std::vector<HistoryRecorder::TxnRecord>& txns,
+                         const CheckerOptions& options) {
+  CheckResult result;
+
+  // Index every record id inserted by every update transaction, and build
+  // a per-key index of (record id, version, committed) for cut checking.
+  std::unordered_map<uint64_t, UpdateInfo> by_record;
+  for (const auto& txn : txns) {
+    if (txn.read_only || txn.complete_time == 0) continue;
+    CollectInserts(txn.spec.root, by_record, txn);
+  }
+  result.updates_indexed = by_record.size();
+  std::unordered_map<std::string, std::vector<uint64_t>> by_key;
+  for (const auto& [record_id, info] : by_record) {
+    for (const auto& key : info.keys) by_key[key].push_back(record_id);
+  }
+
+  // Committed reads in serialization order: version, then completion time
+  // (within a version, the version order is the only constraint; completion
+  // order refines it deterministically for the monotonicity check).
+  std::vector<const HistoryRecorder::TxnRecord*> reads;
+  for (const auto& txn : txns) {
+    if (txn.read_only && txn.committed && txn.complete_time != 0) {
+      reads.push_back(&txn);
+    }
+  }
+  std::sort(reads.begin(), reads.end(), [](const auto* a, const auto* b) {
+    if (a->version != b->version) return a->version < b->version;
+    return a->complete_time < b->complete_time;
+  });
+
+  // Monotonicity state: per key, the records the latest read observed.
+  std::map<std::string, std::set<uint64_t>> last_seen;
+
+  for (const auto* read : reads) {
+    ++result.reads_checked;
+
+    // Observed record ids per key.
+    std::map<std::string, std::set<uint64_t>> observed;
+    for (const auto& [key, value] : read->reads) {
+      if (!value.ids.empty() || by_key.count(key) != 0) {
+        observed[key] = std::set<uint64_t>(value.ids.begin(),
+                                           value.ids.end());
+      }
+    }
+
+    // (a)+(b): each observed record must come from a committed update and
+    // be visible in ALL of that update's keys that this read covered.
+    std::set<uint64_t> seen_ids;
+    for (const auto& [key, ids] : observed) {
+      for (uint64_t id : ids) seen_ids.insert(id);
+    }
+    for (uint64_t id : seen_ids) {
+      auto it = by_record.find(id);
+      if (it == by_record.end()) continue;  // seeded / external data
+      const UpdateInfo& update = it->second;
+      if (!update.committed) {
+        ++result.aborted_visible;
+        AddSample(result, options,
+                  "read txn " + std::to_string(read->id) +
+                      " observed record " + std::to_string(id) +
+                      " of an aborted update");
+        continue;
+      }
+      for (const auto& key : update.keys) {
+        auto oit = observed.find(key);
+        if (oit == observed.end()) continue;  // read did not cover this key
+        if (oit->second.count(id) == 0) {
+          ++result.partial_visibility;
+          AddSample(result, options,
+                    "read txn " + std::to_string(read->id) +
+                        " saw record " + std::to_string(id) +
+                        " on some keys but not on " + key);
+          break;
+        }
+      }
+    }
+
+    // (d): exact version cut (3V only).
+    if (options.check_version_cut) {
+      for (const auto& [key, ids] : observed) {
+        auto kit = by_key.find(key);
+        if (kit == by_key.end()) continue;
+        for (uint64_t id : kit->second) {
+          const UpdateInfo& update = by_record[id];
+          bool should_see =
+              update.committed && update.version <= read->version;
+          bool saw = ids.count(id) != 0;
+          if (should_see != saw) {
+            ++result.version_cut_violations;
+            AddSample(result, options,
+                      "read txn " + std::to_string(read->id) + " (v" +
+                          std::to_string(read->version) + ") " +
+                          (saw ? "saw" : "missed") + " record " +
+                          std::to_string(id) + " (v" +
+                          std::to_string(update.version) + ") on " + key);
+          }
+        }
+      }
+    }
+
+    // (c): monotonic growth of the visible cut per key. Only meaningful
+    // when no compensation removed records; callers running with abort
+    // injection should interpret nonmonotonic counts accordingly.
+    for (const auto& [key, ids] : observed) {
+      auto& prev = last_seen[key];
+      for (uint64_t id : prev) {
+        if (ids.count(id) == 0 && by_record.count(id) != 0 &&
+            by_record[id].committed) {
+          ++result.nonmonotonic_reads;
+          AddSample(result, options,
+                    "read txn " + std::to_string(read->id) + " lost record " +
+                        std::to_string(id) + " on " + key +
+                        " that an earlier read saw");
+          break;
+        }
+      }
+      prev = ids;
+    }
+  }
+
+  return result;
+}
+
+}  // namespace threev

@@ -1,0 +1,66 @@
+#ifndef THREEV_VERIFY_CHECKER_H_
+#define THREEV_VERIFY_CHECKER_H_
+
+#include <string>
+#include <vector>
+
+#include "threev/verify/history.h"
+
+namespace threev {
+
+// Outcome of a history check.
+struct CheckResult {
+  size_t reads_checked = 0;
+  size_t updates_indexed = 0;
+
+  // A read observed only part of one update transaction's writes
+  // (atomicity violation: the patient saw charges from radiology but not
+  // pediatrics for the same visit).
+  size_t partial_visibility = 0;
+  // A read observed writes of a transaction that aborted (and was
+  // compensated): dirty read of a logically-undone transaction.
+  size_t aborted_visible = 0;
+  // With version-cut checking on: a read observed an update of a version
+  // newer than its own, or missed a committed update of an older version.
+  size_t version_cut_violations = 0;
+  // A later read (by version, then completion time) lost a record an
+  // earlier read had seen.
+  size_t nonmonotonic_reads = 0;
+
+  // First few violations, human-readable.
+  std::vector<std::string> samples;
+
+  size_t total_anomalies() const {
+    return partial_visibility + aborted_visible + version_cut_violations +
+           nonmonotonic_reads;
+  }
+  bool ok() const { return total_anomalies() == 0; }
+  std::string Summary() const;
+};
+
+struct CheckerOptions {
+  // Enforce the exact version-cut rule of Theorem 4.1: read R of version v
+  // sees precisely the committed updates of version <= v. Valid only for
+  // histories produced by the 3V engine (versions are meaningless for the
+  // baselines); atomicity/monotonicity checks are system-agnostic.
+  bool check_version_cut = false;
+  size_t max_samples = 10;
+};
+
+// Serializability checker for commuting-update (data recording) histories.
+//
+// It exploits the workload discipline that every update transaction
+// Inserts one globally unique record id into the record-log key of every
+// node it touches: a read is then a visibility cut over update
+// transactions, and global serializability (Theorem 4.1: serial order =
+// version order, updates before reads within a version) is equivalent to:
+//   (a) every update is all-or-nothing in every read's cut,
+//   (b) no aborted/compensated update is visible,
+//   (c) cuts grow monotonically with (version, completion time),
+//   (d) [3V only] the cut of read R equals {U committed : V(U) <= V(R)}.
+CheckResult CheckHistory(const std::vector<HistoryRecorder::TxnRecord>& txns,
+                         const CheckerOptions& options = {});
+
+}  // namespace threev
+
+#endif  // THREEV_VERIFY_CHECKER_H_

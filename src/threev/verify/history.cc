@@ -1,0 +1,61 @@
+#include "threev/verify/history.h"
+
+namespace threev {
+
+void HistoryRecorder::RecordSubmit(TxnId id, const TxnSpec& spec,
+                                   Micros now) {
+  std::lock_guard<std::mutex> lock(mu_);
+  TxnRecord& rec = txns_[id];
+  rec.id = id;
+  rec.submit_time = now;
+  rec.read_only = spec.read_only;
+  rec.klass = spec.klass;
+  rec.spec = spec;
+}
+
+void HistoryRecorder::RecordComplete(
+    TxnId id, bool committed, Version version,
+    const std::map<std::string, Value>& reads, Micros now) {
+  std::lock_guard<std::mutex> lock(mu_);
+  TxnRecord& rec = txns_[id];
+  rec.id = id;
+  rec.complete_time = now;
+  rec.committed = committed;
+  rec.version = version;
+  rec.reads = reads;
+  ++completed_;
+}
+
+void HistoryRecorder::RecordAdvancement(const AdvancementRecord& rec) {
+  std::lock_guard<std::mutex> lock(mu_);
+  advancements_.push_back(rec);
+}
+
+std::vector<HistoryRecorder::TxnRecord> HistoryRecorder::Transactions()
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<TxnRecord> out;
+  out.reserve(txns_.size());
+  for (const auto& [id, rec] : txns_) out.push_back(rec);
+  return out;
+}
+
+std::vector<HistoryRecorder::AdvancementRecord>
+HistoryRecorder::Advancements() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return advancements_;
+}
+
+size_t HistoryRecorder::CompletedCount() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return completed_;
+}
+
+void HistoryRecorder::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  txns_.clear();
+  advancements_.clear();
+  completed_ = 0;
+}
+
+}  // namespace threev

@@ -1,0 +1,61 @@
+#ifndef THREEV_VERIFY_HISTORY_H_
+#define THREEV_VERIFY_HISTORY_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "threev/common/clock.h"
+#include "threev/common/ids.h"
+#include "threev/txn/plan.h"
+
+namespace threev {
+
+// Append-only record of what the system did, consumed by the
+// serializability checker (verify/checker.h). Engines call the Record*
+// hooks; a null recorder pointer disables recording everywhere.
+class HistoryRecorder {
+ public:
+  struct TxnRecord {
+    TxnId id = 0;
+    Micros submit_time = 0;
+    Micros complete_time = 0;
+    bool read_only = false;
+    TxnClass klass = TxnClass::kWellBehaved;
+    bool committed = false;     // false: aborted (or compensated away)
+    Version version = 0;        // version the transaction executed in
+    TxnSpec spec;               // the submitted plan
+    std::map<std::string, Value> reads;  // what kGet ops observed
+  };
+
+  struct AdvancementRecord {
+    Version new_update_version = 0;
+    Micros start_time = 0;
+    Micros read_switch_time = 0;  // when phase 3 was initiated
+    Micros end_time = 0;
+  };
+
+  void RecordSubmit(TxnId id, const TxnSpec& spec, Micros now);
+  void RecordComplete(TxnId id, bool committed, Version version,
+                      const std::map<std::string, Value>& reads, Micros now);
+  void RecordAdvancement(const AdvancementRecord& rec);
+
+  // Snapshot accessors (copy under lock; used after a run settles).
+  std::vector<TxnRecord> Transactions() const;
+  std::vector<AdvancementRecord> Advancements() const;
+  size_t CompletedCount() const;
+
+  void Clear();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<TxnId, TxnRecord> txns_;
+  std::vector<AdvancementRecord> advancements_;
+  size_t completed_ = 0;
+};
+
+}  // namespace threev
+
+#endif  // THREEV_VERIFY_HISTORY_H_

@@ -1,0 +1,196 @@
+#include "threev/workload/scenarios.h"
+
+namespace threev {
+
+namespace {
+// Builds a txn whose root is placed at the first involved node and one
+// child subtransaction at each further node, filled by `fill(plan, node)`.
+template <typename Fill>
+TxnSpec FanOut(const std::vector<NodeId>& nodes, Fill fill) {
+  TxnSpec spec;
+  spec.root.node = nodes.empty() ? 0 : nodes[0];
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    SubtxnPlan* target;
+    if (i == 0) {
+      target = &spec.root;
+    } else {
+      SubtxnPlan child;
+      child.node = nodes[i];
+      spec.root.children.push_back(std::move(child));
+      target = &spec.root.children.back();
+    }
+    fill(*target, nodes[i]);
+  }
+  spec.DeduceFlags();
+  return spec;
+}
+}  // namespace
+
+// ---- Hospital -------------------------------------------------------------
+
+std::string HospitalBalanceKey(uint64_t patient, NodeId department) {
+  return "hosp/bal/" + std::to_string(patient) + "@" +
+         std::to_string(department);
+}
+
+std::string HospitalChargesKey(uint64_t patient, NodeId department) {
+  return "hosp/charges/" + std::to_string(patient) + "@" +
+         std::to_string(department);
+}
+
+TxnSpec MakeHospitalVisit(uint64_t patient, uint64_t visit_id,
+                          const std::vector<HospitalCharge>& charges) {
+  std::vector<NodeId> nodes;
+  for (const auto& c : charges) nodes.push_back(c.department);
+  size_t i = 0;
+  return FanOut(nodes, [&](SubtxnPlan& plan, NodeId node) {
+    (void)node;
+    const HospitalCharge& c = charges[i++];
+    plan.ops.push_back(
+        OpAdd(HospitalBalanceKey(patient, c.department), c.amount));
+    plan.ops.push_back(
+        OpInsert(HospitalChargesKey(patient, c.department), visit_id));
+  });
+}
+
+TxnSpec MakeHospitalInquiry(uint64_t patient,
+                            const std::vector<NodeId>& departments) {
+  return FanOut(departments, [&](SubtxnPlan& plan, NodeId node) {
+    plan.ops.push_back(OpGet(HospitalBalanceKey(patient, node)));
+    plan.ops.push_back(OpGet(HospitalChargesKey(patient, node)));
+  });
+}
+
+// ---- Telecom ----------------------------------------------------------------
+
+std::string UsageKey(uint64_t subscriber, NodeId switch_node) {
+  return "tel/usage/" + std::to_string(subscriber) + "@" +
+         std::to_string(switch_node);
+}
+
+std::string CallLogKey(uint64_t subscriber, NodeId switch_node) {
+  return "tel/calls/" + std::to_string(subscriber) + "@" +
+         std::to_string(switch_node);
+}
+
+TxnSpec MakeCallRecord(uint64_t subscriber, uint64_t call_id,
+                       const std::vector<NodeId>& switches,
+                       int64_t duration_secs) {
+  return FanOut(switches, [&](SubtxnPlan& plan, NodeId node) {
+    plan.ops.push_back(OpAdd(UsageKey(subscriber, node), duration_secs));
+    plan.ops.push_back(OpInsert(CallLogKey(subscriber, node), call_id));
+  });
+}
+
+TxnSpec MakeBillingQuery(uint64_t subscriber,
+                         const std::vector<NodeId>& switches) {
+  return FanOut(switches, [&](SubtxnPlan& plan, NodeId node) {
+    plan.ops.push_back(OpGet(UsageKey(subscriber, node)));
+    plan.ops.push_back(OpGet(CallLogKey(subscriber, node)));
+  });
+}
+
+// ---- Point of sale ----------------------------------------------------------
+
+std::string StockKey(uint64_t sku, NodeId store) {
+  return "pos/stock/" + std::to_string(sku) + "@" + std::to_string(store);
+}
+
+std::string SoldKey(uint64_t sku, NodeId store) {
+  return "pos/sold/" + std::to_string(sku) + "@" + std::to_string(store);
+}
+
+std::string PriceKey(uint64_t sku, NodeId store) {
+  return "pos/price/" + std::to_string(sku) + "@" + std::to_string(store);
+}
+
+TxnSpec MakeSale(uint64_t order_id, const std::vector<SaleLine>& lines) {
+  std::vector<NodeId> nodes;
+  for (const auto& l : lines) nodes.push_back(l.store);
+  size_t i = 0;
+  return FanOut(nodes, [&](SubtxnPlan& plan, NodeId node) {
+    (void)node;
+    const SaleLine& l = lines[i++];
+    plan.ops.push_back(OpAdd(StockKey(l.sku, l.store), -l.quantity));
+    plan.ops.push_back(OpAdd(SoldKey(l.sku, l.store), l.quantity));
+    plan.ops.push_back(OpInsert("pos/orders/" + std::to_string(l.sku) + "@" +
+                                    std::to_string(l.store),
+                                order_id));
+  });
+}
+
+TxnSpec MakeStockAudit(uint64_t sku, const std::vector<NodeId>& stores) {
+  return FanOut(stores, [&](SubtxnPlan& plan, NodeId node) {
+    plan.ops.push_back(OpGet(StockKey(sku, node)));
+    plan.ops.push_back(OpGet(SoldKey(sku, node)));
+  });
+}
+
+TxnSpec MakePriceChange(uint64_t sku, const std::vector<NodeId>& stores,
+                        const std::string& new_price) {
+  return FanOut(stores, [&](SubtxnPlan& plan, NodeId node) {
+    plan.ops.push_back(OpPut(PriceKey(sku, node), new_price));
+  });
+}
+
+// ---- Factory monitoring -----------------------------------------------------
+
+std::string LinePartsKey(uint64_t line, NodeId node) {
+  return "fab/parts/" + std::to_string(line) + "@" + std::to_string(node);
+}
+
+std::string LineAlarmsKey(uint64_t line, NodeId node) {
+  return "fab/alarms/" + std::to_string(line) + "@" + std::to_string(node);
+}
+
+std::string LineLogKey(uint64_t line, NodeId node) {
+  return "fab/log/" + std::to_string(line) + "@" + std::to_string(node);
+}
+
+std::string PlantPartsKey(NodeId plant_node) {
+  return "fab/plant/parts@" + std::to_string(plant_node);
+}
+
+TxnSpec MakeSensorReading(uint64_t line, uint64_t reading_id,
+                          NodeId line_node, NodeId plant_node,
+                          int64_t parts_delta, bool alarm) {
+  TxnSpec spec;
+  spec.root.node = line_node;
+  spec.root.ops.push_back(OpInsert(LineLogKey(line, line_node), reading_id));
+  spec.root.ops.push_back(OpAdd(LinePartsKey(line, line_node), parts_delta));
+  if (alarm) {
+    spec.root.ops.push_back(OpAdd(LineAlarmsKey(line, line_node), 1));
+  }
+  if (plant_node != line_node) {
+    SubtxnPlan rollup;
+    rollup.node = plant_node;
+    rollup.ops.push_back(OpAdd(PlantPartsKey(plant_node), parts_delta));
+    rollup.ops.push_back(
+        OpInsert("fab/plant/log@" + std::to_string(plant_node), reading_id));
+    spec.root.children.push_back(std::move(rollup));
+  } else {
+    spec.root.ops.push_back(OpAdd(PlantPartsKey(plant_node), parts_delta));
+  }
+  spec.DeduceFlags();
+  return spec;
+}
+
+TxnSpec MakeDashboardQuery(uint64_t line, NodeId line_node,
+                           NodeId plant_node) {
+  TxnSpec spec;
+  spec.root.node = line_node;
+  spec.root.ops.push_back(OpGet(LinePartsKey(line, line_node)));
+  spec.root.ops.push_back(OpGet(LineAlarmsKey(line, line_node)));
+  if (plant_node != line_node) {
+    SubtxnPlan agg;
+    agg.node = plant_node;
+    agg.ops.push_back(OpGet(PlantPartsKey(plant_node)));
+    spec.root.children.push_back(std::move(agg));
+  } else {
+    spec.root.ops.push_back(OpGet(PlantPartsKey(plant_node)));
+  }
+  spec.DeduceFlags();
+  return spec;
+}
+
+}  // namespace threev

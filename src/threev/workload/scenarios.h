@@ -1,0 +1,102 @@
+#ifndef THREEV_WORKLOAD_SCENARIOS_H_
+#define THREEV_WORKLOAD_SCENARIOS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "threev/common/ids.h"
+#include "threev/txn/plan.h"
+
+namespace threev {
+
+// Concrete transaction builders for the three application domains the paper
+// motivates. Each function returns a ready-to-submit TxnSpec; node ids map
+// to departments / switches / stores.
+
+// ---- Hospital billing (the paper's Section 1 example) --------------------
+
+struct HospitalCharge {
+  NodeId department;  // node holding this department's accounting system
+  int64_t amount;
+  std::string procedure;
+};
+
+// A patient visit: records one charge per involved department and bumps the
+// per-department balance due - the paper's T1 = {w11(x1), w12(x2)}.
+// `visit_id` must be globally unique (it is the record id the checker
+// tracks).
+TxnSpec MakeHospitalVisit(uint64_t patient, uint64_t visit_id,
+                          const std::vector<HospitalCharge>& charges);
+
+// A balance inquiry across the given departments - the paper's
+// T2 = {r21(x1), r22(x2)}.
+TxnSpec MakeHospitalInquiry(uint64_t patient,
+                            const std::vector<NodeId>& departments);
+
+std::string HospitalBalanceKey(uint64_t patient, NodeId department);
+std::string HospitalChargesKey(uint64_t patient, NodeId department);
+
+// ---- Telephone call recording (AT&T's motivating application) ------------
+
+// A call traverses several switches; each records the call and adds its leg
+// duration to the subscriber's usage summary on that switch.
+TxnSpec MakeCallRecord(uint64_t subscriber, uint64_t call_id,
+                       const std::vector<NodeId>& switches,
+                       int64_t duration_secs);
+
+// Billing statement: total usage of a subscriber over the given switches.
+TxnSpec MakeBillingQuery(uint64_t subscriber,
+                         const std::vector<NodeId>& switches);
+
+std::string UsageKey(uint64_t subscriber, NodeId switch_node);
+std::string CallLogKey(uint64_t subscriber, NodeId switch_node);
+
+// ---- Point-of-sale inventory ---------------------------------------------
+
+struct SaleLine {
+  NodeId store;  // node holding this store's inventory
+  uint64_t sku;
+  int64_t quantity;
+};
+
+// A multi-store order: decrements stock and counts units sold per store.
+TxnSpec MakeSale(uint64_t order_id, const std::vector<SaleLine>& lines);
+
+// Chain-wide stock audit for one SKU.
+TxnSpec MakeStockAudit(uint64_t sku, const std::vector<NodeId>& stores);
+
+// A price change: an overwrite, hence non-commuting - it must be declared
+// TxnClass::kNonCommuting and will flow through the NC3V path.
+TxnSpec MakePriceChange(uint64_t sku, const std::vector<NodeId>& stores,
+                        const std::string& new_price);
+
+std::string StockKey(uint64_t sku, NodeId store);
+std::string SoldKey(uint64_t sku, NodeId store);
+std::string PriceKey(uint64_t sku, NodeId store);
+
+// ---- Factory operations monitoring ----------------------------------------
+//
+// The paper's Section 6(a): automated factories record sensor observations
+// and maintain derived summaries (parts produced, alarm counts). A reading
+// spans the line's local node and the plant-wide aggregation node.
+
+// Records one sensor reading: raw observation on the line's node plus
+// rollups on both the line node and the plant aggregate node.
+TxnSpec MakeSensorReading(uint64_t line, uint64_t reading_id,
+                          NodeId line_node, NodeId plant_node,
+                          int64_t parts_delta, bool alarm);
+
+// Plant dashboard query: per-line rollups at the line node and the plant
+// totals, all from one consistent version.
+TxnSpec MakeDashboardQuery(uint64_t line, NodeId line_node,
+                           NodeId plant_node);
+
+std::string LinePartsKey(uint64_t line, NodeId node);
+std::string LineAlarmsKey(uint64_t line, NodeId node);
+std::string LineLogKey(uint64_t line, NodeId node);
+std::string PlantPartsKey(NodeId plant_node);
+
+}  // namespace threev
+
+#endif  // THREEV_WORKLOAD_SCENARIOS_H_

@@ -1,0 +1,184 @@
+#include "threev/workload/workload.h"
+
+#include <algorithm>
+#include <functional>
+
+#include "threev/common/logging.h"
+
+namespace threev {
+
+WorkloadGenerator::WorkloadGenerator(const WorkloadOptions& options)
+    : options_(options),
+      rng_(options.seed),
+      zipf_(options.num_entities, options.zipf_theta) {
+  THREEV_CHECK(options.fanout >= 1);
+  THREEV_CHECK(options.num_nodes >= 1);
+}
+
+std::vector<NodeId> WorkloadGenerator::HomeNodes(uint64_t entity) const {
+  size_t fanout = std::min(options_.fanout, options_.num_nodes);
+  std::vector<NodeId> nodes;
+  nodes.reserve(fanout);
+  // Deterministic spread: entity e lives on nodes h(e), h(e)+1, ...
+  uint64_t h = entity * 0x9e3779b97f4a7c15ull >> 33;
+  for (size_t i = 0; i < fanout; ++i) {
+    nodes.push_back(static_cast<NodeId>((h + i) % options_.num_nodes));
+  }
+  return nodes;
+}
+
+std::string WorkloadGenerator::SummaryKey(uint64_t entity, NodeId node) {
+  return "bal/" + std::to_string(entity) + "@" + std::to_string(node);
+}
+
+std::string WorkloadGenerator::RecordKey(uint64_t entity, NodeId node) {
+  return "rec/" + std::to_string(entity) + "@" + std::to_string(node);
+}
+
+TxnSpec WorkloadGenerator::MakeUpdate(uint64_t entity, bool non_commuting) {
+  std::vector<NodeId> nodes = HomeNodes(entity);
+  // The recording event may originate at any of the entity's home nodes (a
+  // call can start at any switch). This also means writes to one key
+  // arrive over different channels, which is what makes old-version
+  // stragglers - and hence dual-version writes - possible at all.
+  std::rotate(nodes.begin(), nodes.begin() + rng_.Uniform(nodes.size()),
+              nodes.end());
+  uint64_t record_id = next_record_id_++;
+  int64_t amount = rng_.UniformRange(1, 100);
+
+  TxnSpec spec;
+  spec.root.node = nodes[0];
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    SubtxnPlan* target;
+    if (i == 0) {
+      target = &spec.root;
+    } else {
+      SubtxnPlan child;
+      child.node = nodes[i];
+      spec.root.children.push_back(std::move(child));
+      target = &spec.root.children.back();
+    }
+    if (non_commuting) {
+      // A no-op rescaling: classified non-commuting (Multiply does not
+      // commute with Add), but factor 1 keeps balances checkable.
+      target->ops.push_back(OpMultiply(SummaryKey(entity, nodes[i]), 1));
+    }
+    target->ops.push_back(OpAdd(SummaryKey(entity, nodes[i]), amount));
+    if (options_.with_inserts) {
+      target->ops.push_back(OpInsert(RecordKey(entity, nodes[i]), record_id));
+    }
+  }
+  spec.DeduceFlags();
+  return spec;
+}
+
+TxnSpec WorkloadGenerator::MakeRead(uint64_t entity) {
+  std::vector<NodeId> nodes = HomeNodes(entity);
+  // Audits visit the entity's homes in the opposite order of the recording
+  // path. (Per-channel FIFO would otherwise mask the no-coordination
+  // anomaly for reads that chase an update along the same route.)
+  std::reverse(nodes.begin(), nodes.end());
+  TxnSpec spec;
+  spec.root.node = nodes[0];
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    SubtxnPlan* target;
+    if (i == 0) {
+      target = &spec.root;
+    } else {
+      SubtxnPlan child;
+      child.node = nodes[i];
+      spec.root.children.push_back(std::move(child));
+      target = &spec.root.children.back();
+    }
+    target->ops.push_back(OpGet(SummaryKey(entity, nodes[i])));
+    if (options_.with_inserts) {
+      target->ops.push_back(OpGet(RecordKey(entity, nodes[i])));
+    }
+  }
+  spec.DeduceFlags();
+  return spec;
+}
+
+WorkloadJob WorkloadGenerator::Next() {
+  uint64_t entity = zipf_.Sample(rng_);
+  WorkloadJob job;
+  if (rng_.Bernoulli(options_.read_fraction)) {
+    job.spec = MakeRead(entity);
+  } else {
+    bool nc = rng_.Bernoulli(options_.noncommuting_fraction);
+    job.spec = MakeUpdate(entity, nc);
+  }
+  job.origin = job.spec.root.node;
+  return job;
+}
+
+std::vector<std::string> WorkloadGenerator::AllSummaryKeys() const {
+  std::vector<std::string> keys;
+  for (uint64_t e = 0; e < options_.num_entities; ++e) {
+    for (NodeId n : HomeNodes(e)) {
+      keys.push_back(SummaryKey(e, n));
+    }
+  }
+  return keys;
+}
+
+SimRunStats RunOpenLoopSim(System& system, SimNet& net,
+                           WorkloadGenerator& gen, size_t total,
+                           Micros mean_interarrival) {
+  SimRunStats stats;
+  Rng arrivals(gen.options().seed ^ 0xa5a5a5a5ull);
+  Micros t = 0;
+  size_t done = 0;
+  auto on_result = [&stats, &done](const TxnResult& result) {
+    if (result.status.ok()) {
+      ++stats.committed;
+    } else {
+      ++stats.aborted;
+    }
+    ++done;
+  };
+  for (size_t i = 0; i < total; ++i) {
+    t += static_cast<Micros>(
+        arrivals.Exponential(static_cast<double>(mean_interarrival)));
+    WorkloadJob job = gen.Next();
+    net.loop().ScheduleAt(t, [&system, job, on_result] {
+      system.Submit(job.origin, job.spec, on_result);
+    });
+    ++stats.submitted;
+  }
+  // Run until every submission resolved - NOT until the loop drains, which
+  // never happens while auto-advance keeps rescheduling itself.
+  net.loop().RunUntil([&] { return done >= total; });
+  stats.virtual_elapsed = net.Now();
+  return stats;
+}
+
+SimRunStats RunClosedLoopSim(System& system, SimNet& net,
+                             WorkloadGenerator& gen, size_t total,
+                             size_t concurrency) {
+  SimRunStats stats;
+  size_t launched = 0;
+  size_t done = 0;
+  // Self-replenishing submission: each completion launches the next job.
+  std::function<void()> launch = [&] {
+    if (launched >= total) return;
+    ++launched;
+    ++stats.submitted;
+    WorkloadJob job = gen.Next();
+    system.Submit(job.origin, job.spec, [&](const TxnResult& result) {
+      if (result.status.ok()) {
+        ++stats.committed;
+      } else {
+        ++stats.aborted;
+      }
+      ++done;
+      launch();
+    });
+  };
+  for (size_t i = 0; i < concurrency && i < total; ++i) launch();
+  net.loop().RunUntil([&] { return done >= total; });
+  stats.virtual_elapsed = net.Now();
+  return stats;
+}
+
+}  // namespace threev

@@ -1,0 +1,96 @@
+#ifndef THREEV_WORKLOAD_WORKLOAD_H_
+#define THREEV_WORKLOAD_WORKLOAD_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "threev/baseline/systems.h"
+#include "threev/common/random.h"
+#include "threev/net/sim_net.h"
+#include "threev/txn/plan.h"
+
+namespace threev {
+
+// Synthetic data-recording workload (Section 6): entities (patients,
+// subscribers, SKUs) have a deterministic home set of nodes; an update
+// transaction records an observation at every home node (Insert of a unique
+// record id + Add to the summary); a read-only transaction audits the same
+// keys. The fixed per-entity node set is what gives the serializability
+// checker full overlap between readers and writers.
+struct WorkloadOptions {
+  size_t num_nodes = 4;
+  uint64_t num_entities = 1000;
+  double zipf_theta = 0.9;       // access skew over entities
+  double read_fraction = 0.1;    // read-only transactions
+  double noncommuting_fraction = 0.0;  // NC among update transactions
+  size_t fanout = 2;             // nodes each transaction touches
+  bool with_inserts = true;      // record ids (needed by the checker)
+  uint64_t seed = 42;
+};
+
+struct WorkloadJob {
+  TxnSpec spec;
+  NodeId origin = 0;
+};
+
+class WorkloadGenerator {
+ public:
+  explicit WorkloadGenerator(const WorkloadOptions& options);
+
+  WorkloadJob Next();
+
+  // Keys the workload can touch (used to seed padded values for the
+  // copy-cost ablation).
+  std::vector<std::string> AllSummaryKeys() const;
+
+  const WorkloadOptions& options() const { return options_; }
+
+ private:
+  // Home nodes of an entity: fanout consecutive nodes starting at a
+  // deterministic hash of the entity.
+  std::vector<NodeId> HomeNodes(uint64_t entity) const;
+  static std::string SummaryKey(uint64_t entity, NodeId node);
+  static std::string RecordKey(uint64_t entity, NodeId node);
+
+  TxnSpec MakeUpdate(uint64_t entity, bool non_commuting);
+  TxnSpec MakeRead(uint64_t entity);
+
+  WorkloadOptions options_;
+  Rng rng_;
+  ZipfGenerator zipf_;
+  uint64_t next_record_id_ = 1;
+};
+
+// Summary of one simulated run.
+struct SimRunStats {
+  size_t submitted = 0;
+  size_t committed = 0;
+  size_t aborted = 0;
+  Micros virtual_elapsed = 0;
+
+  double throughput_per_sec() const {
+    return virtual_elapsed > 0
+               ? static_cast<double>(committed) * 1e6 /
+                     static_cast<double>(virtual_elapsed)
+               : 0.0;
+  }
+};
+
+// Open-loop driver for SimNet: schedules `total` submissions with
+// exponential inter-arrival times of the given mean, runs the event loop to
+// completion (all results received), and reports stats. Deterministic from
+// the generator's seed plus the SimNet seed.
+SimRunStats RunOpenLoopSim(System& system, SimNet& net,
+                           WorkloadGenerator& gen, size_t total,
+                           Micros mean_interarrival);
+
+// Closed-loop driver for SimNet: keeps `concurrency` transactions in
+// flight until `total` have been submitted, then drains.
+SimRunStats RunClosedLoopSim(System& system, SimNet& net,
+                             WorkloadGenerator& gen, size_t total,
+                             size_t concurrency);
+
+}  // namespace threev
+
+#endif  // THREEV_WORKLOAD_WORKLOAD_H_

@@ -1,0 +1,223 @@
+// The paper's Section 1 comparison: the hospital anomaly is visible under
+// "No Coordination" and "Manual Versioning" but impossible under 3V.
+#include <gtest/gtest.h>
+
+#include "threev/baseline/manual_versioning.h"
+#include "threev/baseline/systems.h"
+#include "threev/core/cluster.h"
+#include "threev/net/sim_net.h"
+#include "threev/verify/checker.h"
+#include "threev/workload/scenarios.h"
+#include "threev/workload/workload.h"
+
+namespace threev {
+namespace {
+
+constexpr int kSubmit = static_cast<int>(MsgType::kClientSubmit);
+constexpr int kSubtxn = static_cast<int>(MsgType::kSubtxnRequest);
+
+// The hospital scenario from Figure 1, orchestrated so that the read
+// lands between the two writes of the visit transaction:
+//   T1 = {w11(x1), w12(x2)}   (radiology = node 0, pediatric = node 1)
+//   T2 = {r21(x1), r22(x2)}
+// Returns the two balances T2 observed.
+std::pair<int64_t, int64_t> RunInterleavedHospital(System& system,
+                                                   SimNet& net) {
+  TxnSpec visit = MakeHospitalVisit(
+      /*patient=*/7, /*visit_id=*/100,
+      {{.department = 0, .amount = 120, .procedure = "xray"},
+       {.department = 1, .amount = 80, .procedure = "checkup"}});
+  TxnSpec inquiry = MakeHospitalInquiry(7, {0, 1});
+
+  bool visit_done = false;
+  system.Submit(0, visit, [&](const TxnResult&) { visit_done = true; });
+  // Deliver the submission: w11 executes at node 0; w12 is in transit.
+  while (net.DeliverMatching(-1, 0, kSubmit) == 0) {
+  }
+
+  // The inquiry runs NOW, before w12 lands at node 1.
+  TxnResult inquiry_result;
+  bool inquiry_done = false;
+  system.Submit(0, inquiry, [&](const TxnResult& r) {
+    inquiry_result = r;
+    inquiry_done = true;
+  });
+  while (net.DeliverMatching(-1, 0, kSubmit) == 0) {
+  }
+  // Let the inquiry's child query run at node 1 (but NOT the visit's w12:
+  // deliver only read subtransactions - the visit's child is an update).
+  for (int guard = 0; guard < 100 && !inquiry_done; ++guard) {
+    uint64_t id = 0;
+    for (const auto& pm : net.Pending()) {
+      bool is_update_subtxn =
+          pm.msg.type == MsgType::kSubtxnRequest && !pm.msg.flag;
+      if (!is_update_subtxn) {
+        id = pm.id;
+        break;
+      }
+    }
+    if (id == 0) break;
+    net.Deliver(id);
+  }
+  EXPECT_TRUE(inquiry_done);
+
+  // Drain everything (w12 lands, visit completes).
+  while (!visit_done) {
+    net.DeliverAll();
+    net.loop().Run();
+  }
+  return {inquiry_result.reads.at(HospitalBalanceKey(7, 0)).num,
+          inquiry_result.reads.at(HospitalBalanceKey(7, 1)).num};
+}
+
+TEST(BaselineTest, NoCoordinationShowsPartialCharges) {
+  Metrics metrics;
+  SimNet net(SimNetOptions{.seed = 2, .manual = true}, &metrics);
+  SystemConfig config;
+  config.kind = SystemKind::kNoCoord;
+  config.num_nodes = 2;
+  auto system = MakeSystem(config, &net, &metrics);
+  auto [radiology, pediatric] = RunInterleavedHospital(*system, net);
+  // The anomaly: the patient sees the radiology charge but not the
+  // pediatric one from the same visit.
+  EXPECT_EQ(radiology, 120);
+  EXPECT_EQ(pediatric, 0);
+}
+
+TEST(BaselineTest, ThreeVNeverShowsPartialCharges) {
+  Metrics metrics;
+  SimNet net(SimNetOptions{.seed = 2, .manual = true}, &metrics);
+  SystemConfig config;
+  config.kind = SystemKind::kThreeV;
+  config.num_nodes = 2;
+  auto system = MakeSystem(config, &net, &metrics);
+  auto [radiology, pediatric] = RunInterleavedHospital(*system, net);
+  // Reads use version 0; the in-flight visit is invisible as a whole.
+  EXPECT_EQ(radiology, 0);
+  EXPECT_EQ(pediatric, 0);
+}
+
+TEST(BaselineTest, ManualVersioningSplitsTransactionAcrossPeriods) {
+  Metrics metrics;
+  SimNet net(SimNetOptions{.seed = 4, .manual = true}, &metrics);
+  ManualVersioningOptions options;
+  options.num_nodes = 2;
+  options.safety_delay = 1'000;
+  ManualVersioningSystem system(options, &net, &metrics);
+
+  // A visit starts in period 1: w11 lands at node 0 in period 1, w12 is
+  // delayed past the period switch.
+  TxnSpec visit = MakeHospitalVisit(
+      9, 200,
+      {{.department = 0, .amount = 50, .procedure = "a"},
+       {.department = 1, .amount = 60, .procedure = "b"}});
+  bool visit_done = false;
+  system.Submit(0, visit, [&](const TxnResult&) { visit_done = true; });
+  while (net.DeliverMatching(-1, 0, kSubmit) == 0) {
+  }
+
+  // The administrative period switch reaches both nodes while w12 is in
+  // transit.
+  system.SwitchPeriod();
+  while (net.DeliverMatching(
+             -1, -1, static_cast<int>(MsgType::kStartAdvancement)) != 0) {
+  }
+  EXPECT_EQ(system.node(0).vu(), 2u);
+  EXPECT_EQ(system.node(1).vu(), 2u);
+
+  // Now w12 lands at node 1 - in period 2 (the manual scheme's flaw).
+  while (net.DeliverMatching(0, 1, kSubtxn) == 0) {
+  }
+  EXPECT_EQ(system.node(0).store().Read(HospitalBalanceKey(9, 0), 1)->num,
+            50);
+  // Node 1's period-1 copy never saw the charge...
+  EXPECT_EQ(system.node(1)
+                .store()
+                .Read(HospitalBalanceKey(9, 1), 1)
+                .status()
+                .code(),
+            StatusCode::kNotFound);
+  // ...it sits in period 2 instead.
+  EXPECT_EQ(system.node(1).store().Read(HospitalBalanceKey(9, 1), 2)->num,
+            60);
+
+  // After the safety delay, period 1 becomes readable: an inquiry reports
+  // the radiology charge but not the pediatric one. Incorrect.
+  net.loop().Run();  // fire the safety-delay timer
+  net.DeliverAll();  // deliver read-advance messages
+  EXPECT_EQ(system.node(0).vr(), 1u);
+  TxnResult inquiry_result;
+  bool inquiry_done = false;
+  system.Submit(0, MakeHospitalInquiry(9, {0, 1}), [&](const TxnResult& r) {
+    inquiry_result = r;
+    inquiry_done = true;
+  });
+  while (!inquiry_done) {
+    net.DeliverAll();
+    net.loop().Run();
+  }
+  EXPECT_EQ(inquiry_result.reads.at(HospitalBalanceKey(9, 0)).num, 50);
+  EXPECT_EQ(inquiry_result.reads.at(HospitalBalanceKey(9, 1)).num, 0);
+
+  while (!visit_done) {
+    net.DeliverAll();
+    net.loop().Run();
+  }
+}
+
+TEST(BaselineTest, CheckerFlagsNoCoordAndPassesThreeV) {
+  for (SystemKind kind : {SystemKind::kNoCoord, SystemKind::kThreeV}) {
+    Metrics metrics;
+    HistoryRecorder history;
+    SimNet net(SimNetOptions{.seed = 21}, &metrics);
+    SystemConfig config;
+    config.kind = kind;
+    config.num_nodes = 4;
+    auto system = MakeSystem(config, &net, &metrics, &history);
+    if (kind == SystemKind::kThreeV) system->EnableAutoAdvance(15'000);
+
+    WorkloadOptions wopts;
+    wopts.num_nodes = 4;
+    wopts.num_entities = 20;  // high contention => interleavings
+    wopts.read_fraction = 0.4;
+    wopts.zipf_theta = 1.1;
+    wopts.seed = 33;
+    WorkloadGenerator gen(wopts);
+    RunOpenLoopSim(*system, net, gen, 800, /*mean_interarrival=*/200);
+
+    CheckResult check = CheckHistory(history.Transactions());
+    if (kind == SystemKind::kNoCoord) {
+      EXPECT_GT(check.partial_visibility, 0u)
+          << "NoCoord should exhibit partial reads: " << check.Summary();
+    } else {
+      EXPECT_TRUE(check.ok()) << check.Summary();
+    }
+  }
+}
+
+TEST(BaselineTest, ManualVersioningAnomaliesUnderLoad) {
+  Metrics metrics;
+  HistoryRecorder history;
+  SimNet net(SimNetOptions{.seed = 22}, &metrics);
+  SystemConfig config;
+  config.kind = SystemKind::kManual;
+  config.num_nodes = 4;
+  config.manual_safety_delay = 500;  // aggressively small: unsafe
+  auto system = MakeSystem(config, &net, &metrics, &history);
+  system->EnableAutoAdvance(5'000);
+
+  WorkloadOptions wopts;
+  wopts.num_nodes = 4;
+  wopts.num_entities = 20;
+  wopts.read_fraction = 0.4;
+  wopts.seed = 44;
+  WorkloadGenerator gen(wopts);
+  RunOpenLoopSim(*system, net, gen, 800, /*mean_interarrival=*/200);
+
+  CheckResult check = CheckHistory(history.Transactions());
+  EXPECT_GT(check.total_anomalies(), 0u)
+      << "manual versioning with a tiny safety delay should corrupt reads";
+}
+
+}  // namespace
+}  // namespace threev

@@ -1,0 +1,92 @@
+#include <gtest/gtest.h>
+
+#include "threev/common/logging.h"
+#include "threev/core/cluster.h"
+#include "threev/net/sim_net.h"
+
+namespace threev {
+namespace {
+
+TEST(ClientTest, TracksInFlightRequests) {
+  Metrics metrics;
+  SimNet net(SimNetOptions{.seed = 3}, &metrics);
+  ClusterOptions options;
+  options.num_nodes = 2;
+  Cluster cluster(options, &net, &metrics);
+
+  EXPECT_EQ(cluster.client().InFlight(), 0u);
+  size_t done = 0;
+  cluster.Submit(0, TxnBuilder(0).Add("x", 1).Build(),
+                 [&](const TxnResult&) { ++done; });
+  cluster.Submit(1, TxnBuilder(1).Add("y", 1).Build(),
+                 [&](const TxnResult&) { ++done; });
+  EXPECT_EQ(cluster.client().InFlight(), 2u);
+  net.loop().Run();
+  EXPECT_EQ(done, 2u);
+  EXPECT_EQ(cluster.client().InFlight(), 0u);
+}
+
+TEST(ClientTest, ResultCarriesTimes) {
+  Metrics metrics;
+  SimNet net(SimNetOptions{.seed = 3}, &metrics);
+  ClusterOptions options;
+  options.num_nodes = 1;
+  Cluster cluster(options, &net, &metrics);
+  TxnResult result;
+  cluster.Submit(0, TxnBuilder(0).Add("x", 1).Build(),
+                 [&](const TxnResult& r) { result = r; });
+  net.loop().Run();
+  EXPECT_GT(result.complete_time, result.submit_time);
+  EXPECT_GT(result.latency(), 0);
+  EXPECT_NE(result.id, 0u);
+}
+
+TEST(ClientTest, StrayResultIgnored) {
+  Metrics metrics;
+  SimNet net(SimNetOptions{.seed = 3}, &metrics);
+  Client client(9, &net);
+  net.RegisterEndpoint(9, [&](const Message& m) { client.HandleMessage(m); });
+  Message stray;
+  stray.type = MsgType::kClientResult;
+  stray.from = 0;
+  stray.seq = 12345;  // never issued
+  client.HandleMessage(stray);  // must not crash
+  Message wrong_type;
+  wrong_type.type = MsgType::kPrepare;
+  client.HandleMessage(wrong_type);
+  EXPECT_EQ(client.InFlight(), 0u);
+}
+
+TEST(LoggingTest, LevelsFilter) {
+  LogLevel prev = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+  // Below threshold: the streaming expression must not even evaluate.
+  bool evaluated = false;
+  auto touch = [&]() {
+    evaluated = true;
+    return "x";
+  };
+  THREEV_LOG(kDebug) << touch();
+  EXPECT_FALSE(evaluated);
+  SetLogLevel(LogLevel::kDebug);
+  THREEV_LOG(kDebug) << touch();
+  EXPECT_TRUE(evaluated);
+  SetLogLevel(prev);
+}
+
+TEST(LoggingTest, CheckPassesOnTrue) {
+  THREEV_CHECK(1 + 1 == 2) << "never shown";
+  SUCCEED();
+}
+
+TEST(StatusCodeTest, AllNamesDistinct) {
+  std::set<std::string> names;
+  for (int i = 0; i <= 9; ++i) {
+    names.insert(StatusCodeName(static_cast<StatusCode>(i)));
+  }
+  EXPECT_EQ(names.size(), 10u);
+}
+
+}  // namespace
+}  // namespace threev

@@ -1,0 +1,194 @@
+// Version advancement correctness: the two-wave quiescence check must
+// never declare a version quiescent while any of its subtransactions is
+// still executing or in transit (DESIGN.md section 5).
+#include <gtest/gtest.h>
+
+#include "threev/core/cluster.h"
+#include "threev/net/sim_net.h"
+
+namespace threev {
+namespace {
+
+constexpr int kSubmit = static_cast<int>(MsgType::kClientSubmit);
+constexpr int kSubtxn = static_cast<int>(MsgType::kSubtxnRequest);
+constexpr int kNotice = static_cast<int>(MsgType::kCompletionNotice);
+constexpr int kStartAdv = static_cast<int>(MsgType::kStartAdvancement);
+constexpr int kStartAdvAck = static_cast<int>(MsgType::kStartAdvancementAck);
+constexpr int kCounterRead = static_cast<int>(MsgType::kCounterRead);
+constexpr int kCounterReadReply =
+    static_cast<int>(MsgType::kCounterReadReply);
+
+class CoordinatorTest : public ::testing::Test {
+ protected:
+  CoordinatorTest()
+      : net_(SimNetOptions{.manual = true}, &metrics_),
+        cluster_(MakeOptions(), &net_, &metrics_) {}
+
+  static ClusterOptions MakeOptions() {
+    ClusterOptions options;
+    options.num_nodes = 2;
+    return options;
+  }
+
+  void DeliverAllOf(int type) {
+    while (net_.DeliverMatching(-1, -1, type) != 0) {
+    }
+  }
+
+  Metrics metrics_;
+  SimNet net_;
+  Cluster cluster_;
+};
+
+TEST_F(CoordinatorTest, DoesNotDeclareQuiescenceWithSubtxnInTransit) {
+  // Update with a child at node 1; hold the child request in transit.
+  TxnSpec spec = TxnBuilder(0).Add("a", 1).Child(1, {OpAdd("b", 1)}).Build();
+  bool txn_done = false;
+  cluster_.Submit(0, spec, [&](const TxnResult&) { txn_done = true; });
+  ASSERT_NE(net_.DeliverMatching(-1, 0, kSubmit), 0u);
+  // Root executed; child request 0->1 is now in flight (held).
+
+  bool advanced = false;
+  ASSERT_TRUE(cluster_.coordinator().StartAdvancement(
+      [&](Status) { advanced = true; }));
+  DeliverAllOf(kStartAdv);
+  DeliverAllOf(kStartAdvAck);
+
+  // Phase 2, round 1: wave C then wave R. The in-transit child makes
+  // R(1)[0][1] = 1 vs C(1)[0][1] = 0, so the round must NOT match.
+  DeliverAllOf(kCounterRead);       // wave C requests
+  DeliverAllOf(kCounterReadReply);  // wave C replies -> triggers wave R
+  DeliverAllOf(kCounterRead);       // wave R requests
+  DeliverAllOf(kCounterReadReply);  // wave R replies -> evaluation
+  EXPECT_FALSE(advanced);
+  EXPECT_TRUE(cluster_.coordinator().running());
+  EXPECT_EQ(cluster_.node(0).vr(), 0u);
+
+  // Now let the transaction finish: child executes, notices flow up.
+  ASSERT_NE(net_.DeliverMatching(0, 1, kSubtxn), 0u);
+  ASSERT_NE(net_.DeliverMatching(1, 0, kNotice), 0u);
+  // Root complete -> result to client.
+  net_.DeliverAll();
+  EXPECT_TRUE(txn_done);
+
+  // The retry round is scheduled on the virtual clock; run it.
+  while (!advanced) {
+    net_.loop().Run();
+    net_.DeliverAll();
+  }
+  EXPECT_EQ(cluster_.node(0).vr(), 1u);
+  EXPECT_EQ(cluster_.node(1).vr(), 1u);
+  EXPECT_GE(metrics_.quiescence_rounds.load(), 2);
+}
+
+TEST_F(CoordinatorTest, NewRootsDuringPhaseTwoDoNotBlockIt) {
+  bool advanced = false;
+  ASSERT_TRUE(cluster_.coordinator().StartAdvancement(
+      [&](Status) { advanced = true; }));
+  DeliverAllOf(kStartAdv);
+  DeliverAllOf(kStartAdvAck);
+
+  // A new update arrives mid-phase-2: it gets version 2 and must not delay
+  // quiescence of version 1 - but it must not be visible to reads either.
+  TxnSpec spec = TxnBuilder(0).Add("x", 7).Build();
+  bool txn_done = false;
+  cluster_.Submit(0, spec, [&](const TxnResult& r) {
+    EXPECT_EQ(r.version, 2u);
+    txn_done = true;
+  });
+  ASSERT_NE(net_.DeliverMatching(-1, 0, kSubmit), 0u);
+
+  while (!advanced) {
+    net_.loop().Run();
+    net_.DeliverAll();
+  }
+  EXPECT_TRUE(txn_done);
+  EXPECT_EQ(cluster_.node(0).vr(), 1u);
+  // Version-2 data exists but reads use version 1 (x never existed there).
+  TxnResult read;
+  bool read_done = false;
+  cluster_.Submit(0, TxnBuilder(0).Get("x").Build(), [&](const TxnResult& r) {
+    read = r;
+    read_done = true;
+  });
+  net_.DeliverAll();
+  ASSERT_TRUE(read_done);
+  EXPECT_EQ(read.reads.at("x").num, 0);
+}
+
+TEST_F(CoordinatorTest, SecondAdvancementRejectedWhileRunning) {
+  ASSERT_TRUE(cluster_.coordinator().StartAdvancement());
+  EXPECT_FALSE(cluster_.coordinator().StartAdvancement());
+  while (cluster_.coordinator().running()) {
+    net_.loop().Run();
+    net_.DeliverAll();
+  }
+  EXPECT_TRUE(cluster_.coordinator().StartAdvancement());
+  while (cluster_.coordinator().running()) {
+    net_.loop().Run();
+    net_.DeliverAll();
+  }
+  EXPECT_EQ(cluster_.coordinator().completed_count(), 2u);
+  EXPECT_EQ(cluster_.node(0).vr(), 2u);
+  EXPECT_EQ(cluster_.node(0).vu(), 3u);
+}
+
+TEST_F(CoordinatorTest, Phase4WaitsForOldReads) {
+  // A read-only transaction with a child held in transit keeps version 0
+  // busy: phases 1-3 may complete (updates quiesce), but GC must wait.
+  TxnSpec read = TxnBuilder(0).Get("a").Child(1, {OpGet("b")}).Build();
+  bool read_done = false;
+  cluster_.Submit(0, read, [&](const TxnResult&) { read_done = true; });
+  ASSERT_NE(net_.DeliverMatching(-1, 0, kSubmit), 0u);
+  // Child query request 0->1 held in transit; version 0 not quiescent.
+
+  cluster_.node(0).store().Seed("a", Value{}, 0);
+  cluster_.node(1).store().Seed("b", Value{}, 0);
+
+  bool advanced = false;
+  ASSERT_TRUE(cluster_.coordinator().StartAdvancement(
+      [&](Status) { advanced = true; }));
+  // Let everything flow except the held read child: deliver all messages
+  // not of type kSubtxnRequest, plus timer-driven retries, a few times.
+  for (int i = 0; i < 30 && !advanced; ++i) {
+    while (true) {
+      uint64_t id = 0;
+      for (const auto& pm : net_.Pending()) {
+        if (pm.msg.type != MsgType::kSubtxnRequest) {
+          id = pm.id;
+          break;
+        }
+      }
+      if (id == 0) break;
+      net_.Deliver(id);
+    }
+    net_.loop().Run();
+  }
+  EXPECT_FALSE(advanced);  // GC blocked by the version-0 read
+  // Reads switched already (phase 3 done): vr is 1.
+  EXPECT_EQ(cluster_.node(0).vr(), 1u);
+  // Version 0 still present: not garbage-collected.
+  EXPECT_EQ(cluster_.node(0).store().VersionsOf("a").front(), 0u);
+
+  // Release the read; advancement completes and GC runs.
+  while (!advanced) {
+    net_.DeliverAll();
+    net_.loop().Run();
+  }
+  EXPECT_TRUE(read_done);
+  EXPECT_EQ(cluster_.node(0).store().VersionsOf("a").front(), 1u);
+}
+
+TEST_F(CoordinatorTest, AutoAdvanceTicksRepeatedly) {
+  cluster_.coordinator().EnableAutoAdvance(5'000);
+  for (int i = 0; i < 200 && cluster_.coordinator().completed_count() < 3;
+       ++i) {
+    net_.loop().RunFor(2'000);
+    net_.DeliverAll();
+  }
+  EXPECT_GE(cluster_.coordinator().completed_count(), 3u);
+  cluster_.coordinator().DisableAutoAdvance();
+}
+
+}  // namespace
+}  // namespace threev

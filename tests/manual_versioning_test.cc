@@ -1,0 +1,119 @@
+// Unit tests of the Manual Versioning baseline engine itself (the
+// anomaly-demonstration tests live in baseline_test.cc).
+#include "threev/baseline/manual_versioning.h"
+
+#include <gtest/gtest.h>
+
+#include "threev/net/sim_net.h"
+
+namespace threev {
+namespace {
+
+struct Env {
+  Env(Micros safety_delay = 5'000)
+      : net(SimNetOptions{.seed = 8}, &metrics),
+        system(Opts(safety_delay), &net, &metrics) {}
+
+  static ManualVersioningOptions Opts(Micros safety_delay) {
+    ManualVersioningOptions options;
+    options.num_nodes = 2;
+    options.safety_delay = safety_delay;
+    return options;
+  }
+
+  TxnResult Run(NodeId origin, const TxnSpec& spec) {
+    TxnResult result;
+    bool done = false;
+    system.Submit(origin, spec, [&](const TxnResult& r) {
+      result = r;
+      done = true;
+    });
+    net.loop().RunUntil([&] { return done; });
+    return result;
+  }
+
+  Metrics metrics;
+  SimNet net;
+  ManualVersioningSystem system;
+};
+
+TEST(ManualVersioningTest, UpdatesAccumulateInCurrentPeriod) {
+  Env env;
+  TxnResult r = env.Run(0, TxnBuilder(0).Add("x", 5).Build());
+  EXPECT_TRUE(r.status.ok());
+  EXPECT_EQ(r.version, 1u);
+  EXPECT_EQ(env.system.node(0).store().Read("x", 1)->num, 5);
+}
+
+TEST(ManualVersioningTest, ReadsLagUntilSwitchPlusDelay) {
+  Env env(/*safety_delay=*/5'000);
+  env.Run(0, TxnBuilder(0).Add("x", 5).Build());
+  // Before any switch: reads see period 0 (nothing).
+  TxnResult r0 = env.Run(0, TxnBuilder(0).Get("x").Build());
+  EXPECT_EQ(r0.version, 0u);
+  EXPECT_EQ(r0.reads.at("x").num, 0);
+
+  env.system.SwitchPeriod();
+  // Immediately after the switch the safety delay has not elapsed: the
+  // read period is still 0.
+  env.net.loop().RunFor(1'000);
+  EXPECT_EQ(env.system.node(0).vu(), 2u);
+  EXPECT_EQ(env.system.node(0).vr(), 0u);
+
+  env.net.loop().Run();  // safety delay fires
+  EXPECT_EQ(env.system.node(0).vr(), 1u);
+  TxnResult r1 = env.Run(0, TxnBuilder(0).Get("x").Build());
+  EXPECT_EQ(r1.version, 1u);
+  EXPECT_EQ(r1.reads.at("x").num, 5);
+}
+
+TEST(ManualVersioningTest, WritesLandInLocalPeriodAtExecutionTime) {
+  Env env;
+  // Advance only node 1 to period 2 (simulate the unsynchronized switch
+  // reaching nodes at different times).
+  Message m;
+  m.type = MsgType::kStartAdvancement;
+  m.from = 2;  // driver id
+  m.version = 2;
+  env.system.node(1).HandleMessage(m);
+  EXPECT_EQ(env.system.node(1).vu(), 2u);
+  EXPECT_EQ(env.system.node(0).vu(), 1u);
+
+  // A transaction rooted at node 0 (period 1) with a child at node 1:
+  // the child's write lands in node 1's CURRENT period 2.
+  TxnResult r = env.Run(
+      0, TxnBuilder(0).Add("a", 1).Child(1, {OpAdd("b", 2)}).Build());
+  EXPECT_TRUE(r.status.ok());
+  EXPECT_EQ(env.system.node(0).store().VersionsOf("a"),
+            (std::vector<Version>{1}));
+  EXPECT_EQ(env.system.node(1).store().VersionsOf("b"),
+            (std::vector<Version>{2}));
+}
+
+TEST(ManualVersioningTest, AutoAdvanceSwitchesRepeatedly) {
+  Env env(/*safety_delay=*/1'000);
+  env.system.EnableAutoAdvance(10'000);
+  env.net.loop().RunFor(45'000);
+  env.system.DisableAutoAdvance();
+  env.net.loop().Run();
+  EXPECT_GE(env.system.node(0).vu(), 4u);
+  EXPECT_GE(env.system.node(0).vr(), 3u);
+}
+
+TEST(ManualVersioningTest, OldPeriodsGarbageCollected) {
+  Env env(/*safety_delay=*/1'000);
+  for (int period = 0; period < 4; ++period) {
+    env.Run(0, TxnBuilder(0).Add("x", 1).Build());
+    env.system.SwitchPeriod();
+    env.net.loop().Run();
+  }
+  // Periods strictly below vr-1 are gone.
+  std::vector<Version> versions = env.system.node(0).store().VersionsOf("x");
+  ASSERT_FALSE(versions.empty());
+  EXPECT_GE(versions.front(), env.system.node(0).vr() >= 1
+                                  ? env.system.node(0).vr() - 1
+                                  : 0);
+}
+
+}  // namespace
+}  // namespace threev

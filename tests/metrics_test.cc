@@ -1,0 +1,78 @@
+#include "threev/metrics/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace threev {
+namespace {
+
+TEST(MetricsTest, ReportMentionsAllSections) {
+  Metrics metrics;
+  metrics.txns_committed = 5;
+  metrics.messages_sent = 42;
+  metrics.dual_version_writes = 3;
+  metrics.lock_waits = 1;
+  metrics.update_latency.Record(100);
+  std::string report = metrics.Report();
+  EXPECT_NE(report.find("committed=5"), std::string::npos);
+  EXPECT_NE(report.find("messages=42"), std::string::npos);
+  EXPECT_NE(report.find("dual_writes=3"), std::string::npos);
+  EXPECT_NE(report.find("lock_waits=1"), std::string::npos);
+  EXPECT_NE(report.find("update_latency"), std::string::npos);
+}
+
+TEST(MetricsTest, ResetClearsEverything) {
+  Metrics metrics;
+  metrics.txns_committed = 5;
+  metrics.version_copies = 7;
+  metrics.staleness.Record(1000);
+  metrics.Reset();
+  EXPECT_EQ(metrics.txns_committed.load(), 0);
+  EXPECT_EQ(metrics.version_copies.load(), 0);
+  EXPECT_EQ(metrics.staleness.count(), 0);
+}
+
+TEST(MetricsTest, ConcurrentRecordingIsExactOnTotals) {
+  Metrics metrics;
+  constexpr int kThreads = 4, kPer = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kPer; ++i) {
+        metrics.txns_committed.fetch_add(1, std::memory_order_relaxed);
+        metrics.update_latency.Record(i % 1000);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(metrics.txns_committed.load(), kThreads * kPer);
+  EXPECT_EQ(metrics.update_latency.count(), kThreads * kPer);
+}
+
+TEST(HistogramPropertyTest, PercentilesAreMonotone) {
+  Histogram h;
+  for (int i = 0; i < 10000; ++i) h.Record((i * 2654435761u) % 1000000);
+  int64_t prev = 0;
+  for (double p : {0.0, 10.0, 25.0, 50.0, 75.0, 90.0, 99.0, 100.0}) {
+    int64_t v = h.Percentile(p);
+    EXPECT_GE(v, prev) << "p=" << p;
+    prev = v;
+  }
+  EXPECT_LE(h.Percentile(100), h.max());
+  EXPECT_GE(h.Percentile(0), 0);
+}
+
+TEST(HistogramPropertyTest, PercentileWithinBucketError) {
+  Histogram h;
+  for (int i = 1; i <= 100000; ++i) h.Record(i);
+  // Log-bucketed: ~6% relative error bound.
+  for (double p : {10.0, 50.0, 90.0, 99.0}) {
+    double exact = p / 100.0 * 100000;
+    double got = static_cast<double>(h.Percentile(p));
+    EXPECT_NEAR(got, exact, exact * 0.08 + 2) << "p=" << p;
+  }
+}
+
+}  // namespace
+}  // namespace threev

@@ -1,0 +1,156 @@
+// Advancement trigger policies (the paper's "Desired Solution" knobs).
+#include "threev/core/policy.h"
+
+#include <gtest/gtest.h>
+
+#include "threev/core/cluster.h"
+#include "threev/net/sim_net.h"
+
+namespace threev {
+namespace {
+
+struct Env {
+  Env() : net(SimNetOptions{.seed = 4}, &metrics), cluster(Opts(), &net, &metrics) {}
+
+  static ClusterOptions Opts() {
+    ClusterOptions options;
+    options.num_nodes = 2;
+    return options;
+  }
+
+  void SubmitUpdates(int n) {
+    for (int i = 0; i < n; ++i) {
+      cluster.Submit(
+          0, TxnBuilder(0).Add("x", 1).Child(1, {OpAdd("y", 1)}).Build(),
+          [&](const TxnResult&) { ++completed; });
+    }
+  }
+
+  Metrics metrics;
+  SimNet net;
+  Cluster cluster;
+  size_t completed = 0;
+};
+
+TEST(PolicyTest, TxnCountThresholdTriggersAdvancement) {
+  Env env;
+  AdvancePolicyOptions options;
+  options.txn_threshold = 10;
+  options.check_interval = 1'000;
+  AdvancePolicyDriver driver(options, &env.cluster.coordinator(),
+                             &env.metrics, &env.net);
+  driver.Start();
+
+  env.SubmitUpdates(9);
+  env.net.loop().RunFor(20'000);
+  EXPECT_EQ(driver.triggered_count(), 0u) << "below threshold";
+
+  env.SubmitUpdates(5);
+  env.net.loop().RunFor(50'000);
+  EXPECT_EQ(driver.triggered_count(), 1u);
+  EXPECT_EQ(env.cluster.node(0).vr(), 1u);
+  driver.Stop();
+}
+
+TEST(PolicyTest, ThresholdRearmsAfterEachAdvancement) {
+  Env env;
+  AdvancePolicyOptions options;
+  options.txn_threshold = 5;
+  options.check_interval = 1'000;
+  AdvancePolicyDriver driver(options, &env.cluster.coordinator(),
+                             &env.metrics, &env.net);
+  driver.Start();
+  for (int round = 0; round < 3; ++round) {
+    env.SubmitUpdates(6);
+    env.net.loop().RunFor(60'000);
+  }
+  EXPECT_EQ(driver.triggered_count(), 3u);
+  EXPECT_EQ(env.cluster.node(0).vr(), 3u);
+  driver.Stop();
+}
+
+TEST(PolicyTest, MinPeriodRateLimits) {
+  Env env;
+  AdvancePolicyOptions options;
+  options.txn_threshold = 1;
+  options.check_interval = 1'000;
+  options.min_period = 1'000'000;  // at most one advancement in this test
+  AdvancePolicyDriver driver(options, &env.cluster.coordinator(),
+                             &env.metrics, &env.net);
+  driver.Start();
+  for (int round = 0; round < 5; ++round) {
+    env.SubmitUpdates(3);
+    env.net.loop().RunFor(40'000);
+  }
+  EXPECT_EQ(driver.triggered_count(), 1u);
+  driver.Stop();
+}
+
+TEST(PolicyTest, ValueDriftPredicateTrigger) {
+  Env env;
+  env.cluster.node(0).store().Seed("x", Value{}, 0);
+  // "Advance when the update version drifted >= 50 ahead of the read
+  // version" - the paper's value-difference policy.
+  AdvancePolicyOptions options;
+  options.check_interval = 1'000;
+  options.trigger = [&]() -> bool {
+    Node& node = env.cluster.node(0);
+    auto current = node.store().Read("x", node.vu());
+    auto readable = node.store().Read("x", node.vr());
+    int64_t drift = (current.ok() ? current->num : 0) -
+                    (readable.ok() ? readable->num : 0);
+    return drift >= 50;
+  };
+  AdvancePolicyDriver driver(options, &env.cluster.coordinator(),
+                             &env.metrics, &env.net);
+  driver.Start();
+
+  for (int i = 0; i < 4; ++i) {
+    env.cluster.Submit(0, TxnBuilder(0).Add("x", 10).Build(),
+                       [](const TxnResult&) {});
+  }
+  env.net.loop().RunFor(20'000);
+  EXPECT_EQ(driver.triggered_count(), 0u) << "drift 40 < 50";
+
+  for (int i = 0; i < 2; ++i) {
+    env.cluster.Submit(0, TxnBuilder(0).Add("x", 10).Build(),
+                       [](const TxnResult&) {});
+  }
+  env.net.loop().RunFor(60'000);
+  EXPECT_EQ(driver.triggered_count(), 1u);
+  // After advancement the drift is back under the threshold.
+  EXPECT_EQ(env.cluster.node(0).store().Read("x", 1)->num, 60);
+  driver.Stop();
+}
+
+TEST(PolicyTest, RequestOnceHonorsOneAtATime) {
+  Env env;
+  AdvancePolicyOptions options;
+  AdvancePolicyDriver driver(options, &env.cluster.coordinator(),
+                             &env.metrics, &env.net);
+  // RequestOnce works without arming the periodic checker (and arming it
+  // would keep the event loop non-empty forever).
+  EXPECT_TRUE(driver.RequestOnce());
+  EXPECT_FALSE(driver.RequestOnce()) << "one advancement at a time";
+  env.net.loop().Run();
+  EXPECT_TRUE(driver.RequestOnce());
+  env.net.loop().Run();
+  EXPECT_EQ(driver.triggered_count(), 2u);
+}
+
+TEST(PolicyTest, StopPreventsFurtherTriggers) {
+  Env env;
+  AdvancePolicyOptions options;
+  options.txn_threshold = 1;
+  options.check_interval = 1'000;
+  AdvancePolicyDriver driver(options, &env.cluster.coordinator(),
+                             &env.metrics, &env.net);
+  driver.Start();
+  driver.Stop();
+  env.SubmitUpdates(10);
+  env.net.loop().RunFor(50'000);
+  EXPECT_EQ(driver.triggered_count(), 0u);
+}
+
+}  // namespace
+}  // namespace threev

@@ -1,0 +1,160 @@
+// Parameterized property sweeps: every coordination strategy, across
+// seeds, contention levels and advancement cadences, must uphold exactly
+// the guarantees it claims.
+//
+//   3V / GlobalSync : serializable histories (zero anomalies), and for 3V
+//                     the exact version-cut of Theorem 4.1 plus the
+//                     structural invariants of Section 4.4.
+//   NoCoord / Manual: must run to completion; anomalies are expected under
+//                     contention (that is the paper's point), so only
+//                     liveness and accounting are asserted.
+#include <gtest/gtest.h>
+
+#include "threev/baseline/systems.h"
+#include "threev/net/sim_net.h"
+#include "threev/verify/checker.h"
+#include "threev/workload/workload.h"
+
+namespace threev {
+namespace {
+
+struct SweepParam {
+  SystemKind kind;
+  uint64_t seed;
+  double zipf_theta;
+  double read_fraction;
+  double nc_fraction;     // only meaningful for kThreeV (mixed) runs
+  Micros advance_period;  // 0 = never advance
+  bool slow_links = false;  // heavy-tailed multi-ms delays (straggler storm)
+  bool no_fifo = false;     // allow per-channel reordering
+  std::string label;
+};
+
+std::ostream& operator<<(std::ostream& os, const SweepParam& p) {
+  return os << p.label;
+}
+
+class SweepTest : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(SweepTest, GuaranteesHold) {
+  const SweepParam& param = GetParam();
+  Metrics metrics;
+  HistoryRecorder history;
+  SimNetOptions net_options;
+  net_options.seed = param.seed;
+  if (param.slow_links) {
+    net_options.min_delay = 300;
+    net_options.mean_extra_delay = 4'000;
+  }
+  // The protocol itself does not require FIFO channels (only the
+  // compensation model does, and this sweep injects no aborts): all
+  // guarantees must survive arbitrary per-channel reordering.
+  net_options.fifo_channels = !param.no_fifo;
+  SimNet net(net_options, &metrics);
+
+  SystemConfig config;
+  config.kind = param.kind;
+  config.num_nodes = 4;
+  config.seed = param.seed;
+  config.mixed_workload = param.nc_fraction > 0;
+  config.nc_lock_timeout = 30'000;
+  config.manual_safety_delay = 2'000;
+  auto system = MakeSystem(config, &net, &metrics, &history);
+  if (param.advance_period > 0) {
+    system->EnableAutoAdvance(param.advance_period);
+  }
+
+  WorkloadOptions wopts;
+  wopts.num_nodes = 4;
+  wopts.num_entities = 40;
+  wopts.zipf_theta = param.zipf_theta;
+  wopts.read_fraction = param.read_fraction;
+  wopts.noncommuting_fraction = param.nc_fraction;
+  wopts.fanout = 2;
+  wopts.seed = param.seed * 31 + 7;
+  WorkloadGenerator gen(wopts);
+
+  SimRunStats stats =
+      RunOpenLoopSim(*system, net, gen, 600, /*mean_interarrival=*/250);
+
+  // Liveness: every submission resolves.
+  EXPECT_EQ(stats.committed + stats.aborted, 600u);
+  if (param.nc_fraction == 0 && param.kind != SystemKind::kGlobalSync) {
+    EXPECT_EQ(stats.aborted, 0u);
+  }
+
+  if (param.kind == SystemKind::kThreeV) {
+    EXPECT_TRUE(system->CheckInvariants().ok());
+    CheckerOptions copts;
+    copts.check_version_cut = true;
+    CheckResult check = CheckHistory(history.Transactions(), copts);
+    EXPECT_TRUE(check.ok()) << check.Summary();
+    if (param.nc_fraction == 0) {
+      EXPECT_EQ(metrics.lock_waits.load(), 0);
+    }
+  } else if (param.kind == SystemKind::kGlobalSync) {
+    CheckResult check = CheckHistory(history.Transactions());
+    EXPECT_TRUE(check.ok()) << check.Summary();
+  }
+
+  // No strategy may leak lock table entries once drained. Stop the
+  // auto-advance ticker first so the event loop can actually empty, then
+  // drain the remaining 2PC decisions / lock cleanups.
+  system->DisableAutoAdvance();
+  net.loop().Run();
+  for (size_t n = 0; n < system->num_nodes(); ++n) {
+    EXPECT_EQ(system->node(n).locks().HeldCount(), 0u)
+        << "node " << n << " leaked locks";
+  }
+}
+
+std::vector<SweepParam> MakeSweep() {
+  std::vector<SweepParam> params;
+  int id = 0;
+  auto add = [&](SystemKind kind, uint64_t seed, double theta, double rf,
+                 double nc, Micros adv, bool slow = false,
+                 bool no_fifo = false) {
+    std::string label = std::string(SystemKindName(kind)) + "_s" +
+                        std::to_string(seed) + "_t" +
+                        std::to_string(static_cast<int>(theta * 10)) + "_r" +
+                        std::to_string(static_cast<int>(rf * 100)) + "_nc" +
+                        std::to_string(static_cast<int>(nc * 100)) + "_a" +
+                        std::to_string(adv) + (slow ? "_slow" : "") +
+                        (no_fifo ? "_nofifo" : "") + "_" +
+                        std::to_string(id++);
+    params.push_back({kind, seed, theta, rf, nc, adv, slow, no_fifo, label});
+  };
+  for (uint64_t seed : {1, 2, 3}) {
+    // Pure 3V at two advancement cadences plus never-advance.
+    add(SystemKind::kThreeV, seed, 0.9, 0.2, 0.0, 10'000);
+    add(SystemKind::kThreeV, seed, 1.1, 0.4, 0.0, 50'000);
+    add(SystemKind::kThreeV, seed, 0.9, 0.2, 0.0, 0);
+    // Mixed workload through NC3V.
+    add(SystemKind::kThreeV, seed, 0.9, 0.2, 0.1, 10'000);
+    add(SystemKind::kThreeV, seed, 0.5, 0.3, 0.5, 20'000);
+    // Baselines.
+    add(SystemKind::kGlobalSync, seed, 0.9, 0.2, 0.0, 0);
+    add(SystemKind::kNoCoord, seed, 0.9, 0.2, 0.0, 0);
+    add(SystemKind::kManual, seed, 0.9, 0.2, 0.0, 10'000);
+    // Straggler storm: multi-ms heavy-tailed links with frequent
+    // advancement - the worst case for the quiescence detector and for
+    // dual-version writes. 3V must stay exactly serializable.
+    add(SystemKind::kThreeV, seed, 1.2, 0.3, 0.0, 8'000, /*slow=*/true);
+    // Reordered channels (no FIFO): serializability must not depend on
+    // message order within a channel.
+    add(SystemKind::kThreeV, seed, 1.0, 0.3, 0.0, 10'000, /*slow=*/true,
+        /*no_fifo=*/true);
+    add(SystemKind::kThreeV, seed, 0.9, 0.2, 0.2, 15'000, /*slow=*/false,
+        /*no_fifo=*/true);
+  }
+  return params;
+}
+
+INSTANTIATE_TEST_SUITE_P(Strategies, SweepTest,
+                         ::testing::ValuesIn(MakeSweep()),
+                         [](const ::testing::TestParamInfo<SweepParam>& info) {
+                           return info.param.label;
+                         });
+
+}  // namespace
+}  // namespace threev

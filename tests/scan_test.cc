@@ -1,0 +1,141 @@
+// Prefix-scan queries: store-level semantics plus end-to-end audit scans
+// that must observe a version-consistent cut like any other read.
+#include <gtest/gtest.h>
+
+#include "threev/core/cluster.h"
+#include "threev/net/sim_net.h"
+
+namespace threev {
+namespace {
+
+TEST(StoreScanTest, PrefixFiltersAndSorts) {
+  VersionedStore store;
+  store.Seed("acct/1", Value{}, 0);
+  store.Seed("acct/2", Value{}, 0);
+  store.Seed("other/9", Value{}, 0);
+  ASSERT_TRUE(store.Update("acct/2", 1, OpAdd("acct/2", 5)).ok());
+  auto rows = store.ScanPrefix("acct/", 1);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0].first, "acct/1");
+  EXPECT_EQ(rows[1].first, "acct/2");
+  EXPECT_EQ(rows[1].second.num, 5);
+}
+
+TEST(StoreScanTest, RespectsVersionCeiling) {
+  VersionedStore store;
+  ASSERT_TRUE(store.Update("k/1", 1, OpAdd("k/1", 1)).ok());
+  ASSERT_TRUE(store.Update("k/2", 2, OpAdd("k/2", 2)).ok());
+  // At ceiling 1, k/2 (created at version 2) is invisible.
+  auto rows = store.ScanPrefix("k/", 1);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].first, "k/1");
+  rows = store.ScanPrefix("k/", 2);
+  EXPECT_EQ(rows.size(), 2u);
+}
+
+TEST(StoreScanTest, EmptyPrefixScansEverything) {
+  VersionedStore store;
+  store.Seed("a", Value{}, 0);
+  store.Seed("b", Value{}, 0);
+  EXPECT_EQ(store.ScanPrefix("", 0).size(), 2u);
+  EXPECT_TRUE(store.ScanPrefix("zzz", 0).empty());
+}
+
+TEST(ScanTxnTest, ValidationRejectsScanInUpdates) {
+  TxnSpec spec = TxnBuilder(0).Add("x", 1).Scan("acct/").Build();
+  EXPECT_FALSE(spec.read_only);
+  EXPECT_EQ(spec.Validate(2).code(), StatusCode::kInvalidArgument);
+  TxnSpec ok = TxnBuilder(0).Scan("acct/").Build();
+  EXPECT_TRUE(ok.read_only);
+  EXPECT_TRUE(ok.Validate(2).ok());
+}
+
+TEST(ScanTxnTest, EndToEndAuditSeesVersionCut) {
+  Metrics metrics;
+  SimNet net(SimNetOptions{.seed = 6}, &metrics);
+  ClusterOptions options;
+  options.num_nodes = 2;
+  Cluster cluster(options, &net, &metrics);
+
+  auto ignore = [](const TxnResult&) {};
+  // Three charges for patient 7 across both nodes (version 1).
+  cluster.Submit(0, TxnBuilder(0)
+                        .Add("charges/7/xray", 120)
+                        .Child(1, {OpAdd("charges/7/lab", 45)})
+                        .Build(),
+                 ignore);
+  cluster.Submit(0, TxnBuilder(0).Add("charges/7/visit", 30).Build(),
+                 ignore);
+  net.loop().Run();
+
+  // Pre-advancement scan: version 0 - nothing.
+  TxnSpec audit = TxnBuilder(0)
+                      .Scan("charges/7/")
+                      .Child(1, {OpScan("charges/7/")})
+                      .Build();
+  TxnResult before;
+  bool done = false;
+  cluster.Submit(0, audit, [&](const TxnResult& r) {
+    before = r;
+    done = true;
+  });
+  net.loop().RunUntil([&] { return done; });
+  EXPECT_TRUE(before.reads.empty());
+
+  bool advanced = false;
+  cluster.coordinator().StartAdvancement([&](Status) { advanced = true; });
+  net.loop().RunUntil([&] { return advanced; });
+
+  // Post-advancement scan sees the full cut from both nodes.
+  TxnResult after;
+  done = false;
+  cluster.Submit(0, audit, [&](const TxnResult& r) {
+    after = r;
+    done = true;
+  });
+  net.loop().RunUntil([&] { return done; });
+  ASSERT_EQ(after.reads.size(), 3u);
+  EXPECT_EQ(after.reads.at("charges/7/xray").num, 120);
+  EXPECT_EQ(after.reads.at("charges/7/lab").num, 45);
+  EXPECT_EQ(after.reads.at("charges/7/visit").num, 30);
+
+  // New charges in version 2 stay invisible to version-1 scans.
+  cluster.Submit(1, TxnBuilder(1).Add("charges/7/mri", 400).Build(), ignore);
+  net.loop().Run();
+  done = false;
+  cluster.Submit(0, audit, [&](const TxnResult& r) {
+    after = r;
+    done = true;
+  });
+  net.loop().RunUntil([&] { return done; });
+  EXPECT_EQ(after.reads.size(), 3u);
+  EXPECT_EQ(after.reads.count("charges/7/mri"), 0u);
+}
+
+TEST(ScanTxnTest, ScanOfGarbageCollectedVersionUsesRelabeledData) {
+  Metrics metrics;
+  SimNet net(SimNetOptions{.seed = 6}, &metrics);
+  ClusterOptions options;
+  options.num_nodes = 1;
+  Cluster cluster(options, &net, &metrics);
+  cluster.Submit(0, TxnBuilder(0).Add("s/a", 1).Build(),
+                 [](const TxnResult&) {});
+  net.loop().Run();
+  for (int i = 0; i < 2; ++i) {
+    bool advanced = false;
+    cluster.coordinator().StartAdvancement([&](Status) { advanced = true; });
+    net.loop().RunUntil([&] { return advanced; });
+  }
+  TxnResult r;
+  bool done = false;
+  cluster.Submit(0, TxnBuilder(0).Scan("s/").Build(), [&](const TxnResult& res) {
+    r = res;
+    done = true;
+  });
+  net.loop().RunUntil([&] { return done; });
+  ASSERT_EQ(r.reads.size(), 1u);
+  EXPECT_EQ(r.reads.at("s/a").num, 1);
+}
+
+}  // namespace
+}  // namespace threev

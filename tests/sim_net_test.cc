@@ -1,0 +1,142 @@
+#include "threev/net/sim_net.h"
+
+#include <gtest/gtest.h>
+
+namespace threev {
+namespace {
+
+Message Msg(NodeId from, uint64_t seq) {
+  Message m;
+  m.type = MsgType::kClientSubmit;
+  m.from = from;
+  m.seq = seq;
+  return m;
+}
+
+TEST(SimNetTest, DeliversWithDelay) {
+  SimNet net(SimNetOptions{.seed = 1, .min_delay = 100,
+                           .mean_extra_delay = 50});
+  std::vector<uint64_t> got;
+  net.RegisterEndpoint(1, [&](const Message& m) { got.push_back(m.seq); });
+  net.Send(1, Msg(0, 42));
+  EXPECT_TRUE(got.empty()) << "delivery is never synchronous";
+  net.loop().Run();
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0], 42u);
+  EXPECT_GE(net.Now(), 100);
+}
+
+TEST(SimNetTest, FifoPerChannel) {
+  SimNet net(SimNetOptions{.seed = 9, .min_delay = 10,
+                           .mean_extra_delay = 5'000,
+                           .fifo_channels = true});
+  std::vector<uint64_t> got;
+  net.RegisterEndpoint(1, [&](const Message& m) { got.push_back(m.seq); });
+  for (uint64_t i = 0; i < 50; ++i) net.Send(1, Msg(0, i));
+  net.loop().Run();
+  ASSERT_EQ(got.size(), 50u);
+  for (uint64_t i = 0; i < 50; ++i) EXPECT_EQ(got[i], i);
+}
+
+TEST(SimNetTest, CrossChannelReorderingAllowed) {
+  // Different senders to the same destination may be reordered; verify the
+  // seeds can produce at least one inversion (huge delay variance).
+  SimNet net(SimNetOptions{.seed = 3, .min_delay = 10,
+                           .mean_extra_delay = 10'000});
+  std::vector<NodeId> got;
+  net.RegisterEndpoint(9, [&](const Message& m) { got.push_back(m.from); });
+  for (int i = 0; i < 20; ++i) {
+    net.Send(9, Msg(0, i));
+    net.Send(9, Msg(1, i));
+  }
+  net.loop().Run();
+  ASSERT_EQ(got.size(), 40u);
+  bool inversion = false;
+  int zeros_seen = 0;
+  for (size_t i = 0; i < got.size(); ++i) {
+    if (got[i] == 0) ++zeros_seen;
+    if (got[i] == 1 && zeros_seen < static_cast<int>(i + 1) / 2) {
+      inversion = true;
+    }
+  }
+  EXPECT_TRUE(inversion);
+}
+
+TEST(SimNetTest, DeterministicFromSeed) {
+  auto run = [](uint64_t seed) {
+    SimNet net(SimNetOptions{.seed = seed});
+    std::vector<uint64_t> got;
+    net.RegisterEndpoint(1, [&](const Message& m) { got.push_back(m.seq); });
+    net.RegisterEndpoint(2, [&](const Message&) {});
+    for (uint64_t i = 0; i < 30; ++i) {
+      net.Send(i % 2 ? 1 : 2, Msg(0, i));
+    }
+    net.loop().Run();
+    return std::make_pair(got, net.Now());
+  };
+  EXPECT_EQ(run(7), run(7));
+  EXPECT_NE(run(7).second, run(8).second);
+}
+
+TEST(SimNetTest, MetricsCountMessages) {
+  Metrics metrics;
+  SimNet net(SimNetOptions{.seed = 1}, &metrics);
+  net.RegisterEndpoint(1, [](const Message&) {});
+  net.Send(1, Msg(0, 1));
+  net.Send(1, Msg(0, 2));
+  EXPECT_EQ(metrics.messages_sent.load(), 2);
+  EXPECT_GT(metrics.bytes_sent.load(), 0);
+}
+
+TEST(SimNetManualTest, HoldsAndDeliversSelectively) {
+  SimNet net(SimNetOptions{.manual = true});
+  std::vector<uint64_t> got;
+  net.RegisterEndpoint(1, [&](const Message& m) { got.push_back(m.seq); });
+  net.RegisterEndpoint(2, [&](const Message& m) { got.push_back(m.seq); });
+  net.Send(1, Msg(0, 10));
+  net.Send(2, Msg(0, 20));
+  net.Send(1, Msg(3, 30));
+  EXPECT_EQ(net.pending_count(), 3u);
+  EXPECT_TRUE(got.empty());
+
+  // Deliver by matching (from=3, any to, any type).
+  EXPECT_NE(net.DeliverMatching(3, -1, -1), 0u);
+  EXPECT_EQ(got, (std::vector<uint64_t>{30}));
+
+  // Oldest matching wins.
+  EXPECT_NE(net.DeliverMatching(-1, -1,
+                                static_cast<int>(MsgType::kClientSubmit)),
+            0u);
+  EXPECT_EQ(got, (std::vector<uint64_t>{30, 10}));
+
+  net.DeliverAll();
+  EXPECT_EQ(got, (std::vector<uint64_t>{30, 10, 20}));
+  EXPECT_EQ(net.pending_count(), 0u);
+}
+
+TEST(SimNetManualTest, DeliverUnknownIdFails) {
+  SimNet net(SimNetOptions{.manual = true});
+  EXPECT_FALSE(net.Deliver(123));
+  EXPECT_EQ(net.DeliverMatching(0, 0, 0), 0u);
+}
+
+TEST(SimNetManualTest, DeliverAllHandlesCascades) {
+  // A handler that sends a new message during DeliverAll: the cascade is
+  // delivered too.
+  SimNet net(SimNetOptions{.manual = true});
+  int hops = 0;
+  net.RegisterEndpoint(0, [&](const Message& m) {
+    ++hops;
+    if (m.seq > 0) {
+      Message next = m;
+      next.seq = m.seq - 1;
+      net.Send(0, next);
+    }
+  });
+  net.Send(0, Msg(0, 5));
+  net.DeliverAll();
+  EXPECT_EQ(hops, 6);
+}
+
+}  // namespace
+}  // namespace threev

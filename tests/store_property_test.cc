@@ -1,0 +1,159 @@
+// Model-based property test for VersionedStore: random interleavings of
+// versioned updates, reads and garbage collection are checked against a
+// simple reference model that replays committed operations per version.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "threev/common/random.h"
+#include "threev/storage/versioned_store.h"
+
+namespace threev {
+namespace {
+
+// Reference model: full history of write ops per key; the value of key k
+// at version v is the fold of all ops with version <= v... except that 3V
+// semantics are NOT snapshot-at-version: an op at version w applies to
+// every version >= w that EXISTS AT THE TIME OF THE WRITE. To keep the
+// model simple and still binding, we model exactly the store's documented
+// rules over explicit version sets.
+struct ModelRecord {
+  std::map<Version, Value> versions;
+
+  void Update(Version v, const Operation& op) {
+    if (versions.find(v) == versions.end()) {
+      // copy max existing <= v
+      Value base;
+      for (auto& [mv, val] : versions) {
+        if (mv <= v) base = val;
+      }
+      versions[v] = base;
+    }
+    for (auto& [mv, val] : versions) {
+      if (mv >= v) op.ApplyTo(val);
+    }
+  }
+
+  Result<Value> Read(Version v) const {
+    const Value* best = nullptr;
+    for (auto& [mv, val] : versions) {
+      if (mv <= v) best = &val;
+    }
+    if (best == nullptr) return Status::NotFound("");
+    return *best;
+  }
+
+  void Gc(Version vr_new) {
+    if (versions.count(vr_new)) {
+      versions.erase(versions.begin(), versions.find(vr_new));
+    } else {
+      // relabel newest older version
+      auto it = versions.lower_bound(vr_new);
+      if (it == versions.begin()) return;
+      --it;
+      Value moved = it->second;
+      versions.erase(versions.begin(), std::next(it));
+      versions[vr_new] = moved;
+    }
+  }
+};
+
+class StorePropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(StorePropertyTest, MatchesModelUnderRandomOps) {
+  Rng rng(GetParam());
+  VersionedStore store;
+  std::map<std::string, ModelRecord> model;
+  const std::vector<std::string> keys = {"a", "b", "c"};
+
+  Version max_written = 0;
+  Version gc_floor = 0;
+  for (int step = 0; step < 3000; ++step) {
+    const std::string& key = keys[rng.Uniform(keys.size())];
+    double dice = rng.NextDouble();
+    if (dice < 0.55) {
+      // Write at a version in the "live window" [gc_floor, gc_floor+2] -
+      // the protocol never writes below the GC floor.
+      Version v = gc_floor + static_cast<Version>(rng.Uniform(3));
+      Operation op =
+          rng.Bernoulli(0.7)
+              ? OpAdd(key, rng.UniformRange(-5, 5))
+              : OpInsert(key, 1000 + static_cast<uint64_t>(step));
+      auto applied = store.Update(key, v, op);
+      ASSERT_TRUE(applied.ok());
+      model[key].Update(v, op);
+      max_written = std::max(max_written, v);
+    } else if (dice < 0.95) {
+      Version v = gc_floor + static_cast<Version>(rng.Uniform(4));
+      Result<Value> got = store.Read(key, v);
+      Result<Value> want = model[key].Read(v);
+      ASSERT_EQ(got.ok(), want.ok()) << key << " v" << v << " step " << step;
+      if (got.ok()) {
+        ASSERT_EQ(*got, *want) << key << " v" << v << " step " << step;
+      }
+    } else if (max_written > gc_floor) {
+      // Garbage-collect up to a version the protocol could have chosen.
+      gc_floor += 1;
+      store.GarbageCollect(gc_floor);
+      for (auto& [k, rec] : model) rec.Gc(gc_floor);
+    }
+  }
+
+  // Final deep comparison.
+  for (const auto& key : keys) {
+    auto dump = store.DumpItem(key);
+    auto& rec = model[key];
+    ASSERT_EQ(dump.size(), rec.versions.size()) << key;
+    for (auto& [v, val] : rec.versions) {
+      ASSERT_TRUE(dump.count(v)) << key << " v" << v;
+      ASSERT_EQ(dump[v], val) << key << " v" << v;
+    }
+  }
+  EXPECT_LE(store.MaxVersionsObserved(), 4u);  // window of 3 + GC slack
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StorePropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+class UndoPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(UndoPropertyTest, UndoRestoresExactState) {
+  Rng rng(GetParam());
+  VersionedStore store;
+  store.Seed("k", Value{}, 0);
+  for (int round = 0; round < 200; ++round) {
+    Version v = 1 + static_cast<Version>(rng.Uniform(2));
+    auto before = store.DumpItem("k");
+    std::vector<UndoEntry> undo;
+    int ops = 1 + static_cast<int>(rng.Uniform(4));
+    bool aborted = false;
+    for (int i = 0; i < ops; ++i) {
+      Operation op = rng.Bernoulli(0.5)
+                         ? OpAdd("k", rng.UniformRange(1, 9))
+                         : OpPut("k", "r" + std::to_string(round));
+      UndoEntry u;
+      Status s = store.UpdateExact("k", v, op, &u);
+      if (!s.ok()) {
+        aborted = true;
+        break;
+      }
+      undo.push_back(std::move(u));
+    }
+    if (aborted || rng.Bernoulli(0.5)) {
+      for (auto it = undo.rbegin(); it != undo.rend(); ++it) store.Undo(*it);
+      auto after = store.DumpItem("k");
+      ASSERT_EQ(after.size(), before.size()) << "round " << round;
+      for (auto& [mv, val] : before) {
+        ASSERT_TRUE(after.count(mv));
+        ASSERT_EQ(after[mv], val) << "round " << round << " v" << mv;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, UndoPropertyTest,
+                         ::testing::Values(11, 12, 13, 14));
+
+}  // namespace
+}  // namespace threev

@@ -1,0 +1,171 @@
+// Integration under real concurrency: the same protocol engines driven by
+// per-node mailbox threads and concurrent submitter threads.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "threev/common/wait_group.h"
+#include "threev/core/cluster.h"
+#include "threev/net/thread_net.h"
+#include "threev/verify/checker.h"
+
+namespace threev {
+namespace {
+
+TEST(ThreadNetTest, DeliversAndSchedules) {
+  ThreadNet net;
+  BlockingQueue<int> got;
+  net.RegisterEndpoint(0, [&](const Message& m) {
+    got.Push(static_cast<int>(m.seq));
+  });
+  net.Start();
+  Message m;
+  m.type = MsgType::kClientSubmit;
+  m.seq = 42;
+  net.Send(0, m);
+  EXPECT_EQ(got.Pop().value(), 42);
+
+  WaitGroup wg;
+  wg.Add(1);
+  net.ScheduleAfter(1'000, [&] { wg.Done(); });
+  EXPECT_TRUE(wg.WaitFor(std::chrono::milliseconds(2000)));
+  net.Stop();
+}
+
+TEST(ThreadNetTest, ClusterUnderConcurrentLoad) {
+  Metrics metrics;
+  HistoryRecorder history;
+  ThreadNet net(ThreadNetOptions{}, &metrics);
+  ClusterOptions options;
+  options.num_nodes = 4;
+  Cluster cluster(options, &net, &metrics, &history);
+  net.Start();
+  cluster.coordinator().EnableAutoAdvance(3'000);
+
+  constexpr int kPerThread = 150;
+  constexpr int kThreads = 3;
+  WaitGroup wg;
+  wg.Add(kThreads * kPerThread);
+  std::atomic<int> committed{0};
+
+  std::vector<std::thread> submitters;
+  for (int t = 0; t < kThreads; ++t) {
+    submitters.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        uint64_t uid = static_cast<uint64_t>(t) * 100000 + i;
+        NodeId a = (t + i) % 4, b = (t + i + 1) % 4;
+        TxnSpec spec;
+        if (i % 4 == 3) {
+          spec = TxnBuilder(b)
+                     .Get("log@" + std::to_string(b))
+                     .Child(a, {OpGet("log@" + std::to_string(a))})
+                     .Build();
+        } else {
+          spec = TxnBuilder(a)
+                     .Add("bal@" + std::to_string(a), 1)
+                     .Op(OpInsert("log@" + std::to_string(a), uid))
+                     .Child(b, {OpAdd("bal@" + std::to_string(b), 1),
+                                OpInsert("log@" + std::to_string(b), uid)})
+                     .Build();
+        }
+        cluster.Submit(spec.root.node, spec, [&](const TxnResult& r) {
+          if (r.status.ok()) committed.fetch_add(1);
+          wg.Done();
+        });
+      }
+    });
+  }
+  for (auto& t : submitters) t.join();
+  ASSERT_TRUE(wg.WaitFor(std::chrono::milliseconds(30'000)))
+      << "transactions did not drain";
+  EXPECT_EQ(committed.load(), kThreads * kPerThread);
+  EXPECT_TRUE(cluster.CheckInvariants().ok());
+  EXPECT_EQ(metrics.lock_waits.load(), 0);
+
+  // Quiesce the advancement machinery, then check the history.
+  cluster.coordinator().DisableAutoAdvance();
+  while (cluster.coordinator().running()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  net.Stop();
+  CheckResult check = CheckHistory(history.Transactions());
+  EXPECT_TRUE(check.ok()) << check.Summary();
+}
+
+TEST(ThreadNetTest, MixedNonCommutingLoadResolves) {
+  Metrics metrics;
+  ThreadNet net(ThreadNetOptions{}, &metrics);
+  ClusterOptions options;
+  options.num_nodes = 3;
+  options.mode = NodeMode::kNC3V;
+  options.nc_lock_timeout = 20'000;
+  Cluster cluster(options, &net, &metrics);
+  net.Start();
+
+  constexpr int kTotal = 120;
+  WaitGroup wg;
+  wg.Add(kTotal);
+  std::atomic<int> committed{0}, aborted{0};
+  for (int i = 0; i < kTotal; ++i) {
+    NodeId a = i % 3, b = (i + 1) % 3;
+    TxnSpec spec;
+    if (i % 5 == 0) {
+      // Non-commuting price changes over a small hot set.
+      std::string key = "price@" + std::to_string(i % 2);
+      spec = TxnBuilder(a)
+                 .Put(key + "a", std::to_string(i))
+                 .Child(b, {OpPut(key + "b", std::to_string(i))})
+                 .Build();
+    } else {
+      spec = TxnBuilder(a)
+                 .Add("stock@" + std::to_string(a), 1)
+                 .Child(b, {OpAdd("stock@" + std::to_string(b), 1)})
+                 .Build();
+    }
+    cluster.Submit(a, spec, [&](const TxnResult& r) {
+      if (r.status.ok()) {
+        committed.fetch_add(1);
+      } else {
+        aborted.fetch_add(1);
+      }
+      wg.Done();
+    });
+  }
+  ASSERT_TRUE(wg.WaitFor(std::chrono::milliseconds(30'000)));
+  EXPECT_EQ(committed.load() + aborted.load(), kTotal);
+  // All well-behaved traffic commits; only NC txns may time out.
+  EXPECT_GE(committed.load(), kTotal * 4 / 5);
+  net.Stop();
+  for (size_t n = 0; n < 3; ++n) {
+    EXPECT_EQ(cluster.node(n).locks().HeldCount(), 0u)
+        << "locks leaked on node " << n;
+  }
+}
+
+TEST(ThreadNetTest, DeliveryDelayStillFifo) {
+  ThreadNet net(ThreadNetOptions{.delivery_delay = 500});
+  std::vector<int> order;
+  std::mutex mu;
+  WaitGroup wg;
+  wg.Add(10);
+  net.RegisterEndpoint(0, [&](const Message& m) {
+    std::lock_guard<std::mutex> lock(mu);
+    order.push_back(static_cast<int>(m.seq));
+    wg.Done();
+  });
+  net.Start();
+  for (int i = 0; i < 10; ++i) {
+    Message m;
+    m.type = MsgType::kClientSubmit;
+    m.from = 1;
+    m.seq = i;
+    net.Send(0, m);
+  }
+  ASSERT_TRUE(wg.WaitFor(std::chrono::milliseconds(5000)));
+  net.Stop();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+}  // namespace
+}  // namespace threev

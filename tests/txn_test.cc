@@ -1,0 +1,170 @@
+#include <gtest/gtest.h>
+
+#include "threev/txn/operation.h"
+#include "threev/txn/plan.h"
+
+namespace threev {
+namespace {
+
+TEST(OperationTest, ApplyAdd) {
+  Value v;
+  OpAdd("x", 5).ApplyTo(v);
+  OpAdd("x", -2).ApplyTo(v);
+  EXPECT_EQ(v.num, 3);
+}
+
+TEST(OperationTest, InsertIsIdempotent) {
+  Value v;
+  OpInsert("x", 7).ApplyTo(v);
+  OpInsert("x", 7).ApplyTo(v);
+  EXPECT_EQ(v.ids.size(), 1u);
+}
+
+TEST(OperationTest, RemoveMissingIsNoop) {
+  Value v;
+  OpRemove("x", 7).ApplyTo(v);
+  EXPECT_TRUE(v.ids.empty());
+}
+
+TEST(OperationTest, PutOverwrites) {
+  Value v;
+  OpPut("x", "a").ApplyTo(v);
+  OpPut("x", "b").ApplyTo(v);
+  EXPECT_EQ(v.str, "b");
+}
+
+TEST(OperationTest, CommutativityClassification) {
+  EXPECT_TRUE(OpIsCommuting(OpKind::kGet));
+  EXPECT_TRUE(OpIsCommuting(OpKind::kAdd));
+  EXPECT_TRUE(OpIsCommuting(OpKind::kInsert));
+  EXPECT_TRUE(OpIsCommuting(OpKind::kRemove));
+  EXPECT_FALSE(OpIsCommuting(OpKind::kPut));
+  EXPECT_FALSE(OpIsCommuting(OpKind::kMultiply));
+}
+
+TEST(OperationTest, AddCommutesWithAddObservably) {
+  // Definition 3.1 sanity: order of commuting ops is immaterial.
+  Value a, b;
+  OpAdd("x", 5).ApplyTo(a);
+  OpInsert("x", 1).ApplyTo(a);
+  OpInsert("x", 1).ApplyTo(b);
+  OpAdd("x", 5).ApplyTo(b);
+  EXPECT_EQ(a, b);
+}
+
+TEST(OperationTest, MultiplyDoesNotCommuteWithAdd) {
+  Value a, b;
+  OpAdd("x", 5).ApplyTo(a);
+  OpMultiply("x", 2).ApplyTo(a);
+  OpMultiply("x", 2).ApplyTo(b);
+  OpAdd("x", 5).ApplyTo(b);
+  EXPECT_NE(a.num, b.num);
+}
+
+TEST(OperationTest, InvertRoundTrips) {
+  Value v;
+  Operation add = OpAdd("x", 9);
+  Operation inv;
+  ASSERT_TRUE(add.Invert(inv));
+  add.ApplyTo(v);
+  inv.ApplyTo(v);
+  EXPECT_EQ(v.num, 0);
+
+  Operation ins = OpInsert("x", 3);
+  ASSERT_TRUE(ins.Invert(inv));
+  ins.ApplyTo(v);
+  inv.ApplyTo(v);
+  EXPECT_TRUE(v.ids.empty());
+}
+
+TEST(OperationTest, PutIsNotInvertible) {
+  Operation inv;
+  EXPECT_FALSE(OpPut("x", "v").Invert(inv));
+  EXPECT_FALSE(OpMultiply("x", 3).Invert(inv));
+  EXPECT_FALSE(OpGet("x").Invert(inv));
+}
+
+TEST(PlanTest, CountAndParticipants) {
+  TxnSpec spec = TxnBuilder(0)
+                     .Add("a", 1)
+                     .Child(1, {OpAdd("b", 1)})
+                     .Child(2, {OpAdd("c", 1)})
+                     .Build();
+  EXPECT_EQ(spec.root.CountSubtxns(), 3u);
+  EXPECT_EQ(spec.root.Participants(), (std::vector<NodeId>{0, 1, 2}));
+}
+
+TEST(PlanTest, NestedTree) {
+  SubtxnPlan grandchild;
+  grandchild.node = 2;
+  grandchild.ops.push_back(OpAdd("c", 1));
+  SubtxnPlan child;
+  child.node = 1;
+  child.ops.push_back(OpAdd("b", 1));
+  child.children.push_back(grandchild);
+  TxnSpec spec = TxnBuilder(0).Add("a", 1).ChildPlan(child).Build();
+  EXPECT_EQ(spec.root.CountSubtxns(), 3u);
+  EXPECT_FALSE(spec.read_only);
+  EXPECT_EQ(spec.klass, TxnClass::kWellBehaved);
+}
+
+TEST(PlanTest, DeduceFlagsReadOnly) {
+  TxnSpec spec = TxnBuilder(0).Get("a").Child(1, {OpGet("b")}).Build();
+  EXPECT_TRUE(spec.read_only);
+  EXPECT_EQ(spec.klass, TxnClass::kWellBehaved);
+}
+
+TEST(PlanTest, DeduceFlagsNonCommuting) {
+  TxnSpec spec = TxnBuilder(0).Put("a", "x").Build();
+  EXPECT_FALSE(spec.read_only);
+  EXPECT_EQ(spec.klass, TxnClass::kNonCommuting);
+}
+
+TEST(PlanTest, ValidateRejectsUnknownNode) {
+  TxnSpec spec = TxnBuilder(0).Add("a", 1).Child(5, {OpAdd("b", 1)}).Build();
+  EXPECT_EQ(spec.Validate(3).code(), StatusCode::kInvalidArgument);
+  EXPECT_TRUE(spec.Validate(6).ok());
+}
+
+TEST(PlanTest, ValidateRejectsNonCommutingInWellBehaved) {
+  TxnSpec spec = TxnBuilder(0).Put("a", "x").Build();
+  spec.klass = TxnClass::kWellBehaved;  // mis-declared on purpose
+  EXPECT_EQ(spec.Validate(3).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(PlanTest, ValidateRejectsEmptyKey) {
+  TxnSpec spec = TxnBuilder(0).Add("", 1).Build();
+  EXPECT_EQ(spec.Validate(3).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(PlanTest, CompensationMirrorsTreeWithInverses) {
+  TxnSpec spec = TxnBuilder(0)
+                     .Add("a", 10)
+                     .Op(OpInsert("log", 5))
+                     .Child(1, {OpAdd("b", 3)})
+                     .Build();
+  Result<SubtxnPlan> comp = MakeCompensationPlan(spec.root);
+  ASSERT_TRUE(comp.ok());
+  ASSERT_EQ(comp->ops.size(), 2u);
+  // Reverse order: the Insert's inverse (Remove) comes first.
+  EXPECT_EQ(comp->ops[0].kind, OpKind::kRemove);
+  EXPECT_EQ(comp->ops[1].kind, OpKind::kAdd);
+  EXPECT_EQ(comp->ops[1].arg, -10);
+  ASSERT_EQ(comp->children.size(), 1u);
+  EXPECT_EQ(comp->children[0].ops[0].arg, -3);
+}
+
+TEST(PlanTest, CompensationFailsOnPut) {
+  TxnSpec spec = TxnBuilder(0).Put("a", "x").Build();
+  EXPECT_FALSE(MakeCompensationPlan(spec.root).ok());
+}
+
+TEST(PlanTest, CompensationSkipsReads) {
+  TxnSpec spec = TxnBuilder(0).Get("a").Add("b", 1).Build();
+  Result<SubtxnPlan> comp = MakeCompensationPlan(spec.root);
+  ASSERT_TRUE(comp.ok());
+  EXPECT_EQ(comp->ops.size(), 1u);
+}
+
+}  // namespace
+}  // namespace threev

@@ -1,0 +1,121 @@
+// Robustness fuzzing of the wire codec: random truncations, mutations and
+// raw byte soup must never crash, over-allocate, or decode to trailing
+// garbage - a TCP peer can feed arbitrary frames.
+#include <gtest/gtest.h>
+
+#include "threev/common/random.h"
+#include "threev/net/wire.h"
+
+namespace threev {
+namespace {
+
+Message RandomMessage(Rng& rng) {
+  Message m;
+  m.type = static_cast<MsgType>(rng.Uniform(17));
+  m.from = static_cast<NodeId>(rng.Uniform(16));
+  m.txn = rng.Next();
+  m.subtxn = rng.Next();
+  m.version = static_cast<Version>(rng.Uniform(5));
+  m.seq = rng.Next();
+  m.flag = rng.Bernoulli(0.5);
+  m.klass = static_cast<uint8_t>(rng.Uniform(2));
+  m.plan.node = static_cast<NodeId>(rng.Uniform(16));
+  size_t nops = rng.Uniform(5);
+  for (size_t i = 0; i < nops; ++i) {
+    switch (rng.Uniform(4)) {
+      case 0:
+        m.plan.ops.push_back(OpAdd("k" + std::to_string(rng.Uniform(9)),
+                                   rng.UniformRange(-100, 100)));
+        break;
+      case 1:
+        m.plan.ops.push_back(OpGet("g" + std::to_string(rng.Uniform(9))));
+        break;
+      case 2:
+        m.plan.ops.push_back(OpInsert("log", rng.Next() % 10000));
+        break;
+      default:
+        m.plan.ops.push_back(
+            OpPut("p", std::string(rng.Uniform(64), 'z')));
+    }
+  }
+  if (rng.Bernoulli(0.4)) {
+    SubtxnPlan child;
+    child.node = static_cast<NodeId>(rng.Uniform(16));
+    child.ops.push_back(OpAdd("c", 1));
+    m.plan.children.push_back(child);
+  }
+  size_t nreads = rng.Uniform(3);
+  for (size_t i = 0; i < nreads; ++i) {
+    Value v;
+    v.num = rng.UniformRange(-5, 5);
+    size_t nids = rng.Uniform(4);
+    for (size_t j = 0; j < nids; ++j) v.ids.push_back(rng.Next() % 100);
+    m.reads.emplace_back("r" + std::to_string(i), v);
+  }
+  size_t nc = rng.Uniform(4);
+  for (size_t i = 0; i < nc; ++i) {
+    m.counters_r.emplace_back(static_cast<NodeId>(i),
+                              static_cast<int64_t>(rng.Uniform(1000)));
+    m.counters_c.emplace_back(static_cast<NodeId>(i),
+                              static_cast<int64_t>(rng.Uniform(1000)));
+  }
+  m.status_code = static_cast<StatusCode>(rng.Uniform(10));
+  m.status_msg = std::string(rng.Uniform(32), 'e');
+  return m;
+}
+
+TEST(WireFuzzTest, RandomMessagesRoundTrip) {
+  Rng rng(101);
+  for (int i = 0; i < 500; ++i) {
+    Message m = RandomMessage(rng);
+    std::vector<uint8_t> buf = EncodeMessage(m);
+    Result<Message> decoded = DecodeMessage(buf.data(), buf.size());
+    ASSERT_TRUE(decoded.ok()) << "iteration " << i;
+    // Spot-check a few invariant fields.
+    EXPECT_EQ(decoded->txn, m.txn);
+    EXPECT_EQ(decoded->plan.ops.size(), m.plan.ops.size());
+    EXPECT_EQ(decoded->reads.size(), m.reads.size());
+    EXPECT_EQ(decoded->status_msg, m.status_msg);
+  }
+}
+
+TEST(WireFuzzTest, TruncationsNeverCrash) {
+  Rng rng(202);
+  for (int i = 0; i < 100; ++i) {
+    Message m = RandomMessage(rng);
+    std::vector<uint8_t> buf = EncodeMessage(m);
+    for (size_t cut = 0; cut < buf.size(); cut += 1 + rng.Uniform(7)) {
+      Result<Message> decoded = DecodeMessage(buf.data(), cut);
+      EXPECT_FALSE(decoded.ok());
+    }
+  }
+}
+
+TEST(WireFuzzTest, MutationsNeverCrashOrOverAllocate) {
+  Rng rng(303);
+  for (int i = 0; i < 300; ++i) {
+    Message m = RandomMessage(rng);
+    std::vector<uint8_t> buf = EncodeMessage(m);
+    // Flip a handful of random bytes; decode must not crash (result may
+    // be ok with mangled fields or a clean error).
+    for (int flips = 0; flips < 4; ++flips) {
+      buf[rng.Uniform(buf.size())] ^= static_cast<uint8_t>(1 + rng.Uniform(255));
+    }
+    Result<Message> decoded = DecodeMessage(buf.data(), buf.size());
+    (void)decoded;
+  }
+}
+
+TEST(WireFuzzTest, RandomByteSoupNeverCrashes) {
+  Rng rng(404);
+  for (int i = 0; i < 300; ++i) {
+    size_t len = rng.Uniform(512);
+    std::vector<uint8_t> buf(len);
+    for (auto& b : buf) b = static_cast<uint8_t>(rng.Next());
+    Result<Message> decoded = DecodeMessage(buf.data(), buf.size());
+    (void)decoded;
+  }
+}
+
+}  // namespace
+}  // namespace threev

@@ -1,0 +1,197 @@
+#include "threev/workload/workload.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "threev/workload/scenarios.h"
+
+namespace threev {
+namespace {
+
+WorkloadOptions Opts() {
+  WorkloadOptions options;
+  options.num_nodes = 4;
+  options.num_entities = 100;
+  options.fanout = 2;
+  options.read_fraction = 0.3;
+  options.seed = 5;
+  return options;
+}
+
+TEST(WorkloadTest, JobsAreValidPlans) {
+  WorkloadGenerator gen(Opts());
+  for (int i = 0; i < 200; ++i) {
+    WorkloadJob job = gen.Next();
+    EXPECT_TRUE(job.spec.Validate(4).ok());
+    EXPECT_EQ(job.origin, job.spec.root.node);
+    EXPECT_LE(job.spec.root.Participants().size(), 2u);
+  }
+}
+
+TEST(WorkloadTest, ReadFractionRoughlyHonored) {
+  WorkloadGenerator gen(Opts());
+  int reads = 0;
+  for (int i = 0; i < 2000; ++i) {
+    if (gen.Next().spec.read_only) ++reads;
+  }
+  EXPECT_NEAR(reads / 2000.0, 0.3, 0.05);
+}
+
+TEST(WorkloadTest, NonCommutingFractionProducesNCSpecs) {
+  WorkloadOptions options = Opts();
+  options.read_fraction = 0;
+  options.noncommuting_fraction = 0.5;
+  WorkloadGenerator gen(options);
+  int nc = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (gen.Next().spec.klass == TxnClass::kNonCommuting) ++nc;
+  }
+  EXPECT_NEAR(nc / 1000.0, 0.5, 0.07);
+}
+
+TEST(WorkloadTest, RecordIdsAreUnique) {
+  WorkloadOptions options = Opts();
+  options.read_fraction = 0;
+  WorkloadGenerator gen(options);
+  std::set<int64_t> ids;
+  for (int i = 0; i < 500; ++i) {
+    WorkloadJob job = gen.Next();
+    for (const auto& op : job.spec.root.ops) {
+      if (op.kind == OpKind::kInsert) {
+        EXPECT_TRUE(ids.insert(op.arg).second) << "duplicate record id";
+      }
+    }
+  }
+  EXPECT_FALSE(ids.empty());
+}
+
+TEST(WorkloadTest, UpdateAndReadCoverSameKeysPerEntity) {
+  // The checker depends on audits covering exactly the record-log keys
+  // updates write: both derive from the same deterministic per-entity home
+  // set. Collect keys per entity over a mixed stream and compare.
+  WorkloadOptions options = Opts();
+  options.read_fraction = 0.5;
+  WorkloadGenerator gen(options);
+
+  auto keys_of = [](const SubtxnPlan& root, OpKind kind) {
+    std::set<std::string> keys;
+    std::vector<const SubtxnPlan*> stack = {&root};
+    while (!stack.empty()) {
+      const SubtxnPlan* plan = stack.back();
+      stack.pop_back();
+      for (const auto& op : plan->ops) {
+        if (op.kind == kind) keys.insert(op.key);
+      }
+      for (const auto& c : plan->children) stack.push_back(&c);
+    }
+    return keys;
+  };
+  auto entity_of = [](const std::string& key) {
+    // "rec/<entity>@<node>"
+    auto slash = key.find('/');
+    auto at = key.rfind('@');
+    return key.substr(slash + 1, at - slash - 1);
+  };
+
+  std::map<std::string, std::set<std::string>> written, audited;
+  for (int i = 0; i < 3000; ++i) {
+    WorkloadJob job = gen.Next();
+    if (job.spec.read_only) {
+      for (const auto& key : keys_of(job.spec.root, OpKind::kGet)) {
+        if (key.rfind("rec/", 0) == 0) audited[entity_of(key)].insert(key);
+      }
+    } else {
+      for (const auto& key : keys_of(job.spec.root, OpKind::kInsert)) {
+        written[entity_of(key)].insert(key);
+      }
+    }
+  }
+  ASSERT_FALSE(written.empty());
+  int compared = 0;
+  for (const auto& [entity, keys] : written) {
+    auto it = audited.find(entity);
+    if (it == audited.end()) continue;  // entity never audited in sample
+    EXPECT_EQ(keys, it->second) << "entity " << entity;
+    ++compared;
+  }
+  EXPECT_GT(compared, 10);
+}
+
+TEST(WorkloadTest, AllSummaryKeysMatchHomePlacement) {
+  WorkloadGenerator gen(Opts());
+  for (const std::string& key : gen.AllSummaryKeys()) {
+    auto at = key.rfind('@');
+    ASSERT_NE(at, std::string::npos);
+    size_t node = std::stoul(key.substr(at + 1));
+    EXPECT_LT(node, 4u);
+  }
+}
+
+TEST(ScenariosTest, HospitalVisitShape) {
+  TxnSpec visit = MakeHospitalVisit(
+      12, 99, {{.department = 1, .amount = 10, .procedure = "a"},
+               {.department = 3, .amount = 20, .procedure = "b"}});
+  EXPECT_EQ(visit.root.node, 1u);
+  EXPECT_FALSE(visit.read_only);
+  EXPECT_EQ(visit.klass, TxnClass::kWellBehaved);
+  EXPECT_EQ(visit.root.CountSubtxns(), 2u);
+  EXPECT_EQ(visit.root.ops[0], OpAdd(HospitalBalanceKey(12, 1), 10));
+  EXPECT_EQ(visit.root.ops[1], OpInsert(HospitalChargesKey(12, 1), 99));
+}
+
+TEST(ScenariosTest, InquiryIsReadOnly) {
+  TxnSpec inquiry = MakeHospitalInquiry(12, {0, 2});
+  EXPECT_TRUE(inquiry.read_only);
+  EXPECT_EQ(inquiry.root.node, 0u);
+  EXPECT_EQ(inquiry.root.children[0].node, 2u);
+}
+
+TEST(ScenariosTest, CallRecordCommutes) {
+  TxnSpec call = MakeCallRecord(5, 1001, {0, 1, 2}, 120);
+  EXPECT_EQ(call.klass, TxnClass::kWellBehaved);
+  EXPECT_EQ(call.root.CountSubtxns(), 3u);
+}
+
+TEST(ScenariosTest, PriceChangeIsNonCommuting) {
+  TxnSpec change = MakePriceChange(5, {0, 1}, "19.99");
+  EXPECT_EQ(change.klass, TxnClass::kNonCommuting);
+  EXPECT_FALSE(change.read_only);
+}
+
+TEST(ScenariosTest, SaleDecrementsStockAndCountsSold) {
+  TxnSpec sale = MakeSale(7, {{.store = 2, .sku = 9, .quantity = 3}});
+  EXPECT_EQ(sale.root.ops[0], OpAdd(StockKey(9, 2), -3));
+  EXPECT_EQ(sale.root.ops[1], OpAdd(SoldKey(9, 2), 3));
+}
+
+TEST(ScenariosTest, SensorReadingRecordsAndRollsUp) {
+  TxnSpec reading = MakeSensorReading(/*line=*/4, /*reading_id=*/777,
+                                      /*line_node=*/1, /*plant_node=*/0,
+                                      /*parts_delta=*/12, /*alarm=*/true);
+  EXPECT_EQ(reading.klass, TxnClass::kWellBehaved);
+  EXPECT_EQ(reading.root.node, 1u);
+  EXPECT_EQ(reading.root.CountSubtxns(), 2u);
+  // Observation recorded + per-line summaries at the line node.
+  EXPECT_EQ(reading.root.ops[0], OpInsert(LineLogKey(4, 1), 777));
+  EXPECT_EQ(reading.root.ops[1], OpAdd(LinePartsKey(4, 1), 12));
+  EXPECT_EQ(reading.root.ops[2], OpAdd(LineAlarmsKey(4, 1), 1));
+  // Plant rollup at the aggregate node.
+  EXPECT_EQ(reading.root.children[0].node, 0u);
+  EXPECT_EQ(reading.root.children[0].ops[0], OpAdd(PlantPartsKey(0), 12));
+}
+
+TEST(ScenariosTest, SensorReadingSameNodeCollapses) {
+  TxnSpec reading = MakeSensorReading(4, 778, 2, 2, 5, false);
+  EXPECT_EQ(reading.root.CountSubtxns(), 1u);
+  EXPECT_EQ(reading.root.ops.back(), OpAdd(PlantPartsKey(2), 5));
+}
+
+TEST(ScenariosTest, DashboardQueryIsReadOnly) {
+  TxnSpec query = MakeDashboardQuery(4, 1, 0);
+  EXPECT_TRUE(query.read_only);
+  EXPECT_EQ(query.root.CountSubtxns(), 2u);
+}
+
+}  // namespace
+}  // namespace threev
