@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_copy.dir/bench_ablation_copy.cc.o"
+  "CMakeFiles/bench_ablation_copy.dir/bench_ablation_copy.cc.o.d"
+  "bench_ablation_copy"
+  "bench_ablation_copy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_copy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_advancement.dir/bench_advancement.cc.o"
+  "CMakeFiles/bench_advancement.dir/bench_advancement.cc.o.d"
+  "bench_advancement"
+  "bench_advancement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_advancement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

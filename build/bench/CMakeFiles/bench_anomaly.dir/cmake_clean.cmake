@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_anomaly.dir/bench_anomaly.cc.o"
+  "CMakeFiles/bench_anomaly.dir/bench_anomaly.cc.o.d"
+  "bench_anomaly"
+  "bench_anomaly.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_anomaly.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

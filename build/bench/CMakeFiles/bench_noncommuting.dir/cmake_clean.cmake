@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_noncommuting.dir/bench_noncommuting.cc.o"
+  "CMakeFiles/bench_noncommuting.dir/bench_noncommuting.cc.o.d"
+  "bench_noncommuting"
+  "bench_noncommuting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_noncommuting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

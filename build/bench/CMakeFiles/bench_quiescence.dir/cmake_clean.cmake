@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_quiescence.dir/bench_quiescence.cc.o"
+  "CMakeFiles/bench_quiescence.dir/bench_quiescence.cc.o.d"
+  "bench_quiescence"
+  "bench_quiescence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_quiescence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hospital_billing.dir/hospital_billing.cpp.o"
+  "CMakeFiles/hospital_billing.dir/hospital_billing.cpp.o.d"
+  "hospital_billing"
+  "hospital_billing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hospital_billing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multiprocess_tcp.dir/multiprocess_tcp.cpp.o"
+  "CMakeFiles/multiprocess_tcp.dir/multiprocess_tcp.cpp.o.d"
+  "multiprocess_tcp"
+  "multiprocess_tcp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multiprocess_tcp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pos_inventory.dir/pos_inventory.cpp.o"
+  "CMakeFiles/pos_inventory.dir/pos_inventory.cpp.o.d"
+  "pos_inventory"
+  "pos_inventory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pos_inventory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/telecom_calls.dir/telecom_calls.cpp.o"
+  "CMakeFiles/telecom_calls.dir/telecom_calls.cpp.o.d"
+  "telecom_calls"
+  "telecom_calls.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/telecom_calls.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

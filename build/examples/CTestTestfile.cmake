@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/quickstart")
+set_tests_properties(example_quickstart PROPERTIES  TIMEOUT "180" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;16;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_hospital_billing "/root/repo/build/examples/hospital_billing")
+set_tests_properties(example_hospital_billing PROPERTIES  TIMEOUT "180" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;16;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_pos_inventory "/root/repo/build/examples/pos_inventory")
+set_tests_properties(example_pos_inventory PROPERTIES  TIMEOUT "180" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;16;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_multiprocess_tcp "/root/repo/build/examples/multiprocess_tcp")
+set_tests_properties(example_multiprocess_tcp PROPERTIES  TIMEOUT "180" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;16;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_simulate_cli "/root/repo/build/examples/simulate_cli" "--txns=500" "--nodes=4")
+set_tests_properties(example_simulate_cli PROPERTIES  TIMEOUT "120" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;19;add_test;/root/repo/examples/CMakeLists.txt;0;")

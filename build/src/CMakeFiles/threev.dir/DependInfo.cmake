@@ -1,0 +1,45 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/threev/baseline/manual_versioning.cc" "src/CMakeFiles/threev.dir/threev/baseline/manual_versioning.cc.o" "gcc" "src/CMakeFiles/threev.dir/threev/baseline/manual_versioning.cc.o.d"
+  "/root/repo/src/threev/baseline/systems.cc" "src/CMakeFiles/threev.dir/threev/baseline/systems.cc.o" "gcc" "src/CMakeFiles/threev.dir/threev/baseline/systems.cc.o.d"
+  "/root/repo/src/threev/common/clock.cc" "src/CMakeFiles/threev.dir/threev/common/clock.cc.o" "gcc" "src/CMakeFiles/threev.dir/threev/common/clock.cc.o.d"
+  "/root/repo/src/threev/common/logging.cc" "src/CMakeFiles/threev.dir/threev/common/logging.cc.o" "gcc" "src/CMakeFiles/threev.dir/threev/common/logging.cc.o.d"
+  "/root/repo/src/threev/common/random.cc" "src/CMakeFiles/threev.dir/threev/common/random.cc.o" "gcc" "src/CMakeFiles/threev.dir/threev/common/random.cc.o.d"
+  "/root/repo/src/threev/common/status.cc" "src/CMakeFiles/threev.dir/threev/common/status.cc.o" "gcc" "src/CMakeFiles/threev.dir/threev/common/status.cc.o.d"
+  "/root/repo/src/threev/core/cluster.cc" "src/CMakeFiles/threev.dir/threev/core/cluster.cc.o" "gcc" "src/CMakeFiles/threev.dir/threev/core/cluster.cc.o.d"
+  "/root/repo/src/threev/core/coordinator.cc" "src/CMakeFiles/threev.dir/threev/core/coordinator.cc.o" "gcc" "src/CMakeFiles/threev.dir/threev/core/coordinator.cc.o.d"
+  "/root/repo/src/threev/core/counters.cc" "src/CMakeFiles/threev.dir/threev/core/counters.cc.o" "gcc" "src/CMakeFiles/threev.dir/threev/core/counters.cc.o.d"
+  "/root/repo/src/threev/core/node.cc" "src/CMakeFiles/threev.dir/threev/core/node.cc.o" "gcc" "src/CMakeFiles/threev.dir/threev/core/node.cc.o.d"
+  "/root/repo/src/threev/core/policy.cc" "src/CMakeFiles/threev.dir/threev/core/policy.cc.o" "gcc" "src/CMakeFiles/threev.dir/threev/core/policy.cc.o.d"
+  "/root/repo/src/threev/lock/lock_manager.cc" "src/CMakeFiles/threev.dir/threev/lock/lock_manager.cc.o" "gcc" "src/CMakeFiles/threev.dir/threev/lock/lock_manager.cc.o.d"
+  "/root/repo/src/threev/metrics/histogram.cc" "src/CMakeFiles/threev.dir/threev/metrics/histogram.cc.o" "gcc" "src/CMakeFiles/threev.dir/threev/metrics/histogram.cc.o.d"
+  "/root/repo/src/threev/metrics/metrics.cc" "src/CMakeFiles/threev.dir/threev/metrics/metrics.cc.o" "gcc" "src/CMakeFiles/threev.dir/threev/metrics/metrics.cc.o.d"
+  "/root/repo/src/threev/net/message.cc" "src/CMakeFiles/threev.dir/threev/net/message.cc.o" "gcc" "src/CMakeFiles/threev.dir/threev/net/message.cc.o.d"
+  "/root/repo/src/threev/net/sim_net.cc" "src/CMakeFiles/threev.dir/threev/net/sim_net.cc.o" "gcc" "src/CMakeFiles/threev.dir/threev/net/sim_net.cc.o.d"
+  "/root/repo/src/threev/net/tcp_net.cc" "src/CMakeFiles/threev.dir/threev/net/tcp_net.cc.o" "gcc" "src/CMakeFiles/threev.dir/threev/net/tcp_net.cc.o.d"
+  "/root/repo/src/threev/net/thread_net.cc" "src/CMakeFiles/threev.dir/threev/net/thread_net.cc.o" "gcc" "src/CMakeFiles/threev.dir/threev/net/thread_net.cc.o.d"
+  "/root/repo/src/threev/net/wire.cc" "src/CMakeFiles/threev.dir/threev/net/wire.cc.o" "gcc" "src/CMakeFiles/threev.dir/threev/net/wire.cc.o.d"
+  "/root/repo/src/threev/sim/event_loop.cc" "src/CMakeFiles/threev.dir/threev/sim/event_loop.cc.o" "gcc" "src/CMakeFiles/threev.dir/threev/sim/event_loop.cc.o.d"
+  "/root/repo/src/threev/storage/versioned_store.cc" "src/CMakeFiles/threev.dir/threev/storage/versioned_store.cc.o" "gcc" "src/CMakeFiles/threev.dir/threev/storage/versioned_store.cc.o.d"
+  "/root/repo/src/threev/txn/operation.cc" "src/CMakeFiles/threev.dir/threev/txn/operation.cc.o" "gcc" "src/CMakeFiles/threev.dir/threev/txn/operation.cc.o.d"
+  "/root/repo/src/threev/txn/plan.cc" "src/CMakeFiles/threev.dir/threev/txn/plan.cc.o" "gcc" "src/CMakeFiles/threev.dir/threev/txn/plan.cc.o.d"
+  "/root/repo/src/threev/verify/checker.cc" "src/CMakeFiles/threev.dir/threev/verify/checker.cc.o" "gcc" "src/CMakeFiles/threev.dir/threev/verify/checker.cc.o.d"
+  "/root/repo/src/threev/verify/history.cc" "src/CMakeFiles/threev.dir/threev/verify/history.cc.o" "gcc" "src/CMakeFiles/threev.dir/threev/verify/history.cc.o.d"
+  "/root/repo/src/threev/workload/scenarios.cc" "src/CMakeFiles/threev.dir/threev/workload/scenarios.cc.o" "gcc" "src/CMakeFiles/threev.dir/threev/workload/scenarios.cc.o.d"
+  "/root/repo/src/threev/workload/workload.cc" "src/CMakeFiles/threev.dir/threev/workload/workload.cc.o" "gcc" "src/CMakeFiles/threev.dir/threev/workload/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

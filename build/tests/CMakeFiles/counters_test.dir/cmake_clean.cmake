@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/counters_test.dir/counters_test.cc.o"
+  "CMakeFiles/counters_test.dir/counters_test.cc.o.d"
+  "counters_test"
+  "counters_test.pdb"
+  "counters_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/counters_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/invariant_sweep_test.dir/invariant_sweep_test.cc.o"
+  "CMakeFiles/invariant_sweep_test.dir/invariant_sweep_test.cc.o.d"
+  "invariant_sweep_test"
+  "invariant_sweep_test.pdb"
+  "invariant_sweep_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/invariant_sweep_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

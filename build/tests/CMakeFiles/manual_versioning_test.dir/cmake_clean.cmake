@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/manual_versioning_test.dir/manual_versioning_test.cc.o"
+  "CMakeFiles/manual_versioning_test.dir/manual_versioning_test.cc.o.d"
+  "manual_versioning_test"
+  "manual_versioning_test.pdb"
+  "manual_versioning_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/manual_versioning_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

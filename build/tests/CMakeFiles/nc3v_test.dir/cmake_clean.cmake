@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nc3v_test.dir/nc3v_test.cc.o"
+  "CMakeFiles/nc3v_test.dir/nc3v_test.cc.o.d"
+  "nc3v_test"
+  "nc3v_test.pdb"
+  "nc3v_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nc3v_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_net_test.dir/sim_net_test.cc.o"
+  "CMakeFiles/sim_net_test.dir/sim_net_test.cc.o.d"
+  "sim_net_test"
+  "sim_net_test.pdb"
+  "sim_net_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_net_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/store_property_test.dir/store_property_test.cc.o"
+  "CMakeFiles/store_property_test.dir/store_property_test.cc.o.d"
+  "store_property_test"
+  "store_property_test.pdb"
+  "store_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/store_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

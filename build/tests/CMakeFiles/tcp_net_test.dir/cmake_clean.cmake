@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcp_net_test.dir/tcp_net_test.cc.o"
+  "CMakeFiles/tcp_net_test.dir/tcp_net_test.cc.o.d"
+  "tcp_net_test"
+  "tcp_net_test.pdb"
+  "tcp_net_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcp_net_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/thread_net_test.dir/thread_net_test.cc.o"
+  "CMakeFiles/thread_net_test.dir/thread_net_test.cc.o.d"
+  "thread_net_test"
+  "thread_net_test.pdb"
+  "thread_net_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/thread_net_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+add_test([=[SoakTest.FiftyAdvancementCyclesUnderLoad]=]  /root/repo/build/tests/soak_test [==[--gtest_filter=SoakTest.FiftyAdvancementCyclesUnderLoad]==] --gtest_also_run_disabled_tests)
+set_tests_properties([=[SoakTest.FiftyAdvancementCyclesUnderLoad]=]  PROPERTIES WORKING_DIRECTORY /root/repo/build/tests SKIP_REGULAR_EXPRESSION [==[\[  SKIPPED \]]==] TIMEOUT 120)
+set(  soak_test_TESTS SoakTest.FiftyAdvancementCyclesUnderLoad)

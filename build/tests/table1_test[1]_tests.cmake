@@ -1,0 +1,3 @@
+add_test([=[Table1Test.ReplaysPaperExecution]=]  /root/repo/build/tests/table1_test [==[--gtest_filter=Table1Test.ReplaysPaperExecution]==] --gtest_also_run_disabled_tests)
+set_tests_properties([=[Table1Test.ReplaysPaperExecution]=]  PROPERTIES WORKING_DIRECTORY /root/repo/build/tests SKIP_REGULAR_EXPRESSION [==[\[  SKIPPED \]]==] TIMEOUT 120)
+set(  table1_test_TESTS Table1Test.ReplaysPaperExecution)
