@@ -2,6 +2,8 @@
 
 #include <string>
 
+#include "threev/common/logging.h"
+
 namespace threev {
 
 void Client::HandleMessage(const Message& msg) {
@@ -51,27 +53,22 @@ size_t Client::InFlight() const {
 }
 
 Cluster::Cluster(const ClusterOptions& options, Network* network,
-                 Metrics* metrics, HistoryRecorder* history) {
+                 Metrics* metrics, HistoryRecorder* history)
+    : options_(options),
+      network_(network),
+      metrics_(metrics),
+      history_(history) {
+  nodes_.resize(options.num_nodes);
   for (size_t i = 0; i < options.num_nodes; ++i) {
-    NodeOptions node_options;
-    node_options.id = static_cast<NodeId>(i);
-    node_options.num_nodes = options.num_nodes;
-    node_options.mode = options.mode;
-    node_options.read_policy = options.read_policy;
-    node_options.nc_lock_timeout = options.nc_lock_timeout;
-    node_options.inject_abort_probability = options.inject_abort_probability;
-    node_options.seed = options.seed;
-    nodes_.push_back(
-        std::make_unique<Node>(node_options, network, metrics, history));
-    Node* node = nodes_.back().get();
-    network->RegisterEndpoint(node->id(),
-                              [node](const Message& m) { node->HandleMessage(m); });
+    InstallNode(i, std::make_unique<Node>(MakeNodeOptions(i), network,
+                                          metrics, history));
   }
 
   CoordinatorOptions coord_options;
   coord_options.id = coordinator_id();
   coord_options.num_nodes = options.num_nodes;
   coord_options.poll_interval = options.coordinator_poll_interval;
+  coord_options.retry_interval = options.coordinator_retry_interval;
   coordinator_ = std::make_unique<AdvanceCoordinator>(coord_options, network,
                                                       metrics, history);
   AdvanceCoordinator* coord = coordinator_.get();
@@ -84,6 +81,67 @@ Cluster::Cluster(const ClusterOptions& options, Network* network,
       client_id(), [client](const Message& m) { client->HandleMessage(m); });
 }
 
+NodeOptions Cluster::MakeNodeOptions(size_t i) const {
+  NodeOptions node_options;
+  node_options.id = static_cast<NodeId>(i);
+  node_options.num_nodes = options_.num_nodes;
+  node_options.mode = options_.mode;
+  node_options.read_policy = options_.read_policy;
+  node_options.nc_lock_timeout = options_.nc_lock_timeout;
+  node_options.inject_abort_probability = options_.inject_abort_probability;
+  node_options.seed = options_.seed;
+  if (!options_.wal_dir.empty()) {
+    node_options.wal_dir = options_.wal_dir + "/node-" + std::to_string(i);
+    node_options.fsync = options_.fsync;
+    node_options.wal_segment_bytes = options_.wal_segment_bytes;
+  }
+  node_options.twopc_retry_interval = options_.twopc_retry_interval;
+  return node_options;
+}
+
+void Cluster::InstallNode(size_t i, std::unique_ptr<Node> node) {
+  nodes_[i] = std::move(node);
+  Node* raw = nodes_[i].get();
+  network_->RegisterEndpoint(
+      raw->id(), [raw](const Message& m) { raw->HandleMessage(m); });
+  network_->SetEndpointUp(raw->id(), true);
+}
+
+void Cluster::KillNode(size_t i) {
+  if (nodes_[i] == nullptr) return;
+  nodes_[i]->Halt();
+  network_->SetEndpointUp(static_cast<NodeId>(i), false);
+  graveyard_.push_back(std::move(nodes_[i]));
+  if (metrics_ != nullptr) {
+    metrics_->node_crashes.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void Cluster::RestartNode(size_t i) {
+  THREEV_CHECK(nodes_[i] == nullptr)
+      << "restart of node " << i << " which is still alive";
+  THREEV_CHECK(!options_.wal_dir.empty())
+      << "restart without durability: node " << i << " has no state to recover";
+  // The node is live from the moment its constructor runs: recovery
+  // re-broadcasts logged 2PC decisions to every node *including itself*
+  // (it may be a participant in a tree it rooted), and a self-addressed
+  // decision sent before InstallNode flips liveness must not be dropped
+  // as a crash casualty. Delivery still waits for the event loop, by which
+  // time the new handler is registered.
+  network_->SetEndpointUp(static_cast<NodeId>(i), true);
+  InstallNode(i, std::make_unique<Node>(MakeNodeOptions(i), network_,
+                                        metrics_, history_));
+}
+
+Status Cluster::CheckpointAll() {
+  for (auto& node : nodes_) {
+    if (node == nullptr) continue;
+    Status s = node->WriteCheckpoint();
+    if (!s.ok()) return s;
+  }
+  return Status::Ok();
+}
+
 uint64_t Cluster::Submit(NodeId origin, const TxnSpec& spec,
                          Client::ResultCallback cb) {
   return client_->Submit(origin, spec, std::move(cb));
@@ -91,6 +149,7 @@ uint64_t Cluster::Submit(NodeId origin, const TxnSpec& spec,
 
 Status Cluster::CheckInvariants() const {
   for (size_t i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i] == nullptr) continue;  // killed: no state to check
     Version vu = nodes_[i]->vu();
     Version vr = nodes_[i]->vr();
     if (!(vr < vu && vu <= vr + 2)) {
@@ -110,7 +169,9 @@ Status Cluster::CheckInvariants() const {
   // other. (Sampled pairwise; exact under SimNet where nothing moves
   // between the reads.)
   for (size_t i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i] == nullptr) continue;
     for (size_t j = i + 1; j < nodes_.size(); ++j) {
+      if (nodes_[j] == nullptr) continue;
       Version vui = nodes_[i]->vu(), vuj = nodes_[j]->vu();
       Version vri = nodes_[i]->vr(), vrj = nodes_[j]->vr();
       if (vui != vuj && vri != vrj) {
@@ -125,7 +186,9 @@ Status Cluster::CheckInvariants() const {
 
 size_t Cluster::TotalPendingSubtxns() const {
   size_t n = 0;
-  for (const auto& node : nodes_) n += node->PendingSubtxns();
+  for (const auto& node : nodes_) {
+    if (node != nullptr) n += node->PendingSubtxns();
+  }
   return n;
 }
 

@@ -61,6 +61,15 @@ struct ClusterOptions {
   double inject_abort_probability = 0.0;
   Micros coordinator_poll_interval = 2000;
   uint64_t seed = 1;
+  // Durability: node i logs under "<wal_dir>/node-<i>". Empty disables
+  // logging (and with it KillNode/RestartNode recovery).
+  std::string wal_dir;
+  FsyncPolicy fsync = FsyncPolicy::kNone;
+  size_t wal_segment_bytes = 4u << 20;
+  // Crash-tolerance retransmission knobs (see NodeOptions /
+  // CoordinatorOptions).
+  Micros twopc_retry_interval = 50'000;
+  Micros coordinator_retry_interval = 10'000;
 };
 
 // Owns and wires a full 3V deployment on one Network: `num_nodes` database
@@ -77,8 +86,26 @@ class Cluster {
   size_t num_nodes() const { return nodes_.size(); }
   Node& node(size_t i) { return *nodes_[i]; }
   const Node& node(size_t i) const { return *nodes_[i]; }
+  // False while node i is killed (its slot holds no live Node).
+  bool node_alive(size_t i) const { return nodes_[i] != nullptr; }
   AdvanceCoordinator& coordinator() { return *coordinator_; }
   Client& client() { return *client_; }
+
+  // --- crash/restart orchestration -----------------------------------
+  // Halts node i and takes it off the network: queued timers go dead,
+  // in-flight messages to it are dropped. The dead Node object is parked
+  // in a graveyard (not destroyed) so callbacks it captured stay valid.
+  // No-op if already dead.
+  void KillNode(size_t i);
+  // Constructs a fresh Node over the same wal_dir - running crash
+  // recovery in its constructor - and re-registers the endpoint (a new
+  // incarnation; pre-crash in-flight messages stay dead). Requires
+  // wal_dir to have been set and node i to be dead.
+  void RestartNode(size_t i);
+
+  // Checkpoints every live node; returns the first error (nodes that are
+  // not quiescent refuse, see Node::WriteCheckpoint).
+  Status CheckpointAll();
 
   NodeId coordinator_id() const {
     return static_cast<NodeId>(nodes_.size());
@@ -99,7 +126,17 @@ class Cluster {
   size_t TotalPendingSubtxns() const;
 
  private:
+  NodeOptions MakeNodeOptions(size_t i) const;
+  void InstallNode(size_t i, std::unique_ptr<Node> node);
+
+  ClusterOptions options_;
+  Network* network_;          // unowned
+  Metrics* metrics_;          // unowned
+  HistoryRecorder* history_;  // unowned, may be null
   std::vector<std::unique_ptr<Node>> nodes_;
+  // Killed incarnations, kept alive so timer callbacks capturing them
+  // remain safe to invoke (they check halted() and return).
+  std::vector<std::unique_ptr<Node>> graveyard_;
   std::unique_ptr<AdvanceCoordinator> coordinator_;
   std::unique_ptr<Client> client_;
 };

@@ -42,34 +42,80 @@ uint64_t AdvanceCoordinator::WaveSeq(bool r_wave) const {
 
 bool AdvanceCoordinator::StartAdvancement(DoneCallback done) {
   Version vu_new;
+  uint64_t epoch;
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (phase_ != Phase::kIdle) return false;
     ++epoch_;
+    epoch = epoch_;
     phase_ = Phase::kSwitchUpdate;
     vu_new = vu_view_ + 1;
-    pending_replies_ = options_.num_nodes;
     done_ = std::move(done);
     start_time_ = network_->Now();
   }
-  Broadcast(MsgType::kStartAdvancement, vu_new);
+  BeginStage(MsgType::kStartAdvancement, vu_new, /*flag=*/false, epoch);
   return true;
 }
 
-void AdvanceCoordinator::Broadcast(MsgType type, Version version) {
-  uint64_t epoch;
+void AdvanceCoordinator::BeginStage(MsgType type, Version version, bool flag,
+                                    uint64_t seq) {
+  uint64_t token;
+  std::vector<NodeId> targets;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    epoch = epoch_;
+    awaiting_.clear();
+    for (NodeId n = 0; n < options_.num_nodes; ++n) awaiting_.insert(n);
+    stage_type_ = type;
+    stage_version_ = version;
+    stage_flag_ = flag;
+    stage_seq_ = seq;
+    token = ++stage_token_;
+    stage_retries_ = 0;
+    targets.assign(awaiting_.begin(), awaiting_.end());
   }
-  for (NodeId n = 0; n < options_.num_nodes; ++n) {
+  SendTo(targets, type, version, flag, seq);
+  ArmRetransmit(token);
+}
+
+void AdvanceCoordinator::SendTo(const std::vector<NodeId>& targets,
+                                MsgType type, Version version, bool flag,
+                                uint64_t seq) {
+  for (NodeId n : targets) {
     Message m;
     m.type = type;
     m.from = options_.id;
     m.version = version;
-    m.seq = epoch;
+    m.flag = flag;
+    m.seq = seq;
     network_->Send(n, std::move(m));
   }
+}
+
+void AdvanceCoordinator::ArmRetransmit(uint64_t token) {
+  if (options_.retry_interval <= 0) return;
+  network_->ScheduleAfter(options_.retry_interval, [this, token] {
+    std::vector<NodeId> targets;
+    MsgType type = MsgType::kStartAdvancement;
+    Version version = 0;
+    bool flag = false;
+    uint64_t seq = 0;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (token != stage_token_ || awaiting_.empty()) return;
+      if (++stage_retries_ > options_.max_stage_retries) return;
+      targets.assign(awaiting_.begin(), awaiting_.end());
+      type = stage_type_;
+      version = stage_version_;
+      flag = stage_flag_;
+      seq = stage_seq_;
+      if (metrics_ != nullptr) {
+        metrics_->advancement_retransmits.fetch_add(
+            static_cast<int64_t>(targets.size()), std::memory_order_relaxed);
+      }
+    }
+    SendTo(targets, type, version, flag, seq);
+    ArmRetransmit(token);
+  });
 }
 
 void AdvanceCoordinator::HandleMessage(const Message& msg) {
@@ -79,7 +125,8 @@ void AdvanceCoordinator::HandleMessage(const Message& msg) {
       {
         std::lock_guard<std::mutex> lock(mu_);
         if (phase_ != Phase::kSwitchUpdate || msg.seq != epoch_) return;
-        if (--pending_replies_ == 0) {
+        awaiting_.erase(msg.from);
+        if (awaiting_.empty()) {
           // Every node now assigns vu_new to new roots; version vu_old can
           // only shrink. Move to phase 2.
           vu_view_ += 1;
@@ -99,7 +146,8 @@ void AdvanceCoordinator::HandleMessage(const Message& msg) {
       {
         std::lock_guard<std::mutex> lock(mu_);
         if (phase_ != Phase::kSwitchRead || msg.seq != epoch_) return;
-        if (--pending_replies_ == 0) {
+        awaiting_.erase(msg.from);
+        if (awaiting_.empty()) {
           vr_view_ += 1;
           phase_ = Phase::kDrainReads;
           check_version_ = vr_view_ - 1;
@@ -114,7 +162,8 @@ void AdvanceCoordinator::HandleMessage(const Message& msg) {
       {
         std::lock_guard<std::mutex> lock(mu_);
         if (phase_ != Phase::kGarbageCollect || msg.seq != epoch_) return;
-        if (--pending_replies_ == 0) finished = true;
+        awaiting_.erase(msg.from);
+        if (awaiting_.empty()) finished = true;
       }
       if (finished) FinishAdvancement();
       break;
@@ -139,18 +188,9 @@ void AdvanceCoordinator::SendWave(Version version, bool r_wave) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     r_wave_ = r_wave;
-    pending_replies_ = options_.num_nodes;
     seq = WaveSeq(r_wave);
   }
-  for (NodeId n = 0; n < options_.num_nodes; ++n) {
-    Message m;
-    m.type = MsgType::kCounterRead;
-    m.from = options_.id;
-    m.version = version;
-    m.flag = r_wave;
-    m.seq = seq;
-    network_->Send(n, std::move(m));
-  }
+  BeginStage(MsgType::kCounterRead, version, r_wave, seq);
 }
 
 void AdvanceCoordinator::OnCounterReply(const Message& msg) {
@@ -161,6 +201,7 @@ void AdvanceCoordinator::OnCounterReply(const Message& msg) {
     std::lock_guard<std::mutex> lock(mu_);
     if (phase_ != Phase::kPhaseOut && phase_ != Phase::kDrainReads) return;
     if (msg.seq != WaveSeq(r_wave_) || msg.flag != r_wave_) return;
+    if (awaiting_.erase(msg.from) == 0) return;  // duplicate reply
     size_t n = options_.num_nodes;
     if (r_wave_) {
       // msg.counters_r: R(version)[msg.from][q] for every q.
@@ -173,7 +214,7 @@ void AdvanceCoordinator::OnCounterReply(const Message& msg) {
         if (o < n) c_matrix_[o * n + msg.from] = count;
       }
     }
-    if (--pending_replies_ == 0) {
+    if (awaiting_.empty()) {
       wave_done = true;
       was_r_wave = r_wave_;
       version = check_version_;
@@ -215,26 +256,26 @@ void AdvanceCoordinator::EvaluateRound() {
 void AdvanceCoordinator::AdvancePhase() {
   Phase phase;
   Version vr_new = 0;
+  uint64_t epoch = 0;
   {
     std::lock_guard<std::mutex> lock(mu_);
     phase = phase_;
+    epoch = epoch_;
     if (phase == Phase::kPhaseOut) {
       // Version vu_old is consistent across all nodes: expose it to reads.
       phase_ = Phase::kSwitchRead;
       vr_new = vr_view_ + 1;
-      pending_replies_ = options_.num_nodes;
       read_switch_time_ = network_->Now();
     } else if (phase == Phase::kDrainReads) {
       // All queries on vr_old have terminated: garbage-collect.
       phase_ = Phase::kGarbageCollect;
       vr_new = vr_view_;
-      pending_replies_ = options_.num_nodes;
     }
   }
   if (phase == Phase::kPhaseOut) {
-    Broadcast(MsgType::kReadVersionAdvance, vr_new);
+    BeginStage(MsgType::kReadVersionAdvance, vr_new, /*flag=*/false, epoch);
   } else if (phase == Phase::kDrainReads) {
-    Broadcast(MsgType::kGarbageCollect, vr_new);
+    BeginStage(MsgType::kGarbageCollect, vr_new, /*flag=*/false, epoch);
   }
 }
 
@@ -246,6 +287,8 @@ void AdvanceCoordinator::FinishAdvancement() {
     std::lock_guard<std::mutex> lock(mu_);
     phase_ = Phase::kIdle;
     ++completed_;
+    awaiting_.clear();
+    ++stage_token_;  // kill any retransmit timer still armed
     done = std::move(done_);
     done_ = nullptr;
     start = start_time_;

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <functional>
 #include <mutex>
+#include <set>
 #include <vector>
 
 #include "threev/common/clock.h"
@@ -20,6 +21,16 @@ struct CoordinatorOptions {
   size_t num_nodes = 1;   // database nodes are endpoints 0..num_nodes-1
   // Delay between quiescence-check rounds in phases 2 and 4.
   Micros poll_interval = 2000;
+  // Re-send the current stage's message to nodes that have not replied yet
+  // (tolerates crashed-and-restarted nodes and the dropped messages that
+  // come with them; node-side handlers are idempotent). 0 disables.
+  Micros retry_interval = 10'000;
+  // Stop re-sending after this many timer fires per stage: a node that
+  // stays down longer than retry_interval * max_stage_retries stalls the
+  // advancement (restart-based recovery is expected well within that
+  // window), and a bounded timer chain keeps event-loop drains finite for
+  // tests that hold messages manually.
+  size_t max_stage_retries = 50;
 };
 
 // The version advancement process (Section 4.3). A single instance runs at
@@ -82,7 +93,12 @@ class AdvanceCoordinator {
     kGarbageCollect  // phase 4 (gc broadcast part)
   };
 
-  void Broadcast(MsgType type, Version version);
+  // Opens a stage awaiting one reply per node: records the retransmit
+  // template, marks every node as awaited, sends to all, arms the timer.
+  void BeginStage(MsgType type, Version version, bool flag, uint64_t seq);
+  void SendTo(const std::vector<NodeId>& targets, MsgType type,
+              Version version, bool flag, uint64_t seq);
+  void ArmRetransmit(uint64_t token);
   // Starts a quiescence round for `version` (wave 1: completion counters).
   void BeginRound(Version version);
   void SendWave(Version version, bool r_wave);
@@ -105,7 +121,16 @@ class AdvanceCoordinator {
   Version vu_view_ = 1;
   Version vr_view_ = 0;
   Version check_version_ = 0;  // version being quiesced in phases 2/4
-  size_t pending_replies_ = 0;
+  // Nodes whose reply for the current stage is still outstanding, plus the
+  // template needed to re-send that stage to them. The token invalidates
+  // retransmit timers armed for earlier stages.
+  std::set<NodeId> awaiting_;
+  MsgType stage_type_ = MsgType::kStartAdvancement;
+  Version stage_version_ = 0;
+  bool stage_flag_ = false;
+  uint64_t stage_seq_ = 0;
+  uint64_t stage_token_ = 0;
+  size_t stage_retries_ = 0;
   uint64_t round_ = 0;
   bool r_wave_ = false;
   // Collected matrices, num_nodes x num_nodes, [p][q].

@@ -61,6 +61,16 @@ std::vector<std::pair<NodeId, int64_t>> CounterTable::SnapshotC(
   return out;
 }
 
+void CounterTable::Restore(Version v, const std::vector<int64_t>& r,
+                           const std::vector<int64_t>& c) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Row& row = RowFor(v);
+  for (size_t i = 0; i < num_nodes_; ++i) {
+    row.r[i] = i < r.size() ? r[i] : 0;
+    row.c[i] = i < c.size() ? c[i] : 0;
+  }
+}
+
 void CounterTable::DropBelow(Version v) {
   std::lock_guard<std::mutex> lock(mu_);
   rows_.erase(rows_.begin(), rows_.lower_bound(v));

@@ -47,6 +47,12 @@ class CounterTable {
   // Garbage-collects counters of versions < v (phase 4).
   void DropBelow(Version v);
 
+  // Recovery: installs a checkpointed row wholesale (rows are truncated or
+  // zero-padded to the table's node count). Subsequent WAL counter deltas
+  // replay on top via IncR/IncC.
+  void Restore(Version v, const std::vector<int64_t>& r,
+               const std::vector<int64_t>& c);
+
   // Active version numbers with allocated counters (ascending).
   std::vector<Version> ActiveVersions() const;
 

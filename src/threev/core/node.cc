@@ -4,8 +4,16 @@
 #include <atomic>
 
 #include "threev/common/logging.h"
+#include "threev/durability/checkpoint.h"
+#include "threev/durability/recovery.h"
 
 namespace threev {
+
+namespace {
+// Size of one kSeqReserve block: a restarted node resumes its id sequences
+// at the reserved ceiling, so up to this many ids are skipped per restart.
+constexpr uint64_t kSeqReserveBlock = 4096;
+}  // namespace
 
 Node::Node(const NodeOptions& options, Network* network, Metrics* metrics,
            HistoryRecorder* history)
@@ -21,6 +29,206 @@ Node::Node(const NodeOptions& options, Network* network, Metrics* metrics,
   // Version 0 (the initial read version) was never an update version; it is
   // "frozen" from the beginning of time for staleness accounting.
   frozen_time_[0] = 0;
+  if (!options_.wal_dir.empty()) RecoverFromLog();
+}
+
+void Node::Halt() { halted_.store(true, std::memory_order_release); }
+
+// ---------------------------------------------------------------------------
+// Durability
+// ---------------------------------------------------------------------------
+
+void Node::RecoverFromLog() {
+  // Replay checkpoint + redo log into the (still fresh) store and counters.
+  Result<RecoveredState> recovered =
+      RecoverNodeState(options_.wal_dir, &store_, &counters_, metrics_);
+  THREEV_CHECK(recovered.ok())
+      << "node " << options_.id << ": recovery failed: "
+      << recovered.status().ToString();
+
+  vu_ = recovered->vu;
+  vr_ = recovered->vr;
+  if (vu_ > 1) frozen_time_[vu_ - 1] = 0;  // conservative staleness origin
+  next_txn_seq_ = recovered->seq_floor;
+  next_subtxn_seq_ = recovered->seq_floor;
+  seq_reserved_until_ = recovered->seq_floor;
+
+  // Appends continue in a fresh segment after the recovered tail.
+  WalOptions wopts;
+  wopts.dir = options_.wal_dir;
+  wopts.fsync = options_.fsync;
+  wopts.segment_bytes = options_.wal_segment_bytes;
+  Result<std::unique_ptr<WriteAheadLog>> wal =
+      WriteAheadLog::Open(wopts, metrics_);
+  THREEV_CHECK(wal.ok()) << "node " << options_.id << ": wal open failed: "
+                         << wal.status().ToString();
+  wal_ = std::move(*wal);
+
+  // Re-enter 2PC for in-doubt non-commuting transactions: restore their
+  // participant state and re-take the write locks their undo images prove
+  // they held (the lock table is fresh, so every grant is immediate).
+  for (const auto& [txn, in_doubt] : recovered->in_doubt) {
+    std::set<std::string> locked;
+    for (const auto& undo : in_doubt.undo) {
+      if (locked.insert(undo.key).second) {
+        locks_.Acquire(undo.key, LockMode::kNCWrite, txn, [](bool) {});
+      }
+    }
+    NcTxnState st;
+    st.undo = in_doubt.undo;
+    st.completions = in_doubt.completions;
+    st.failed = in_doubt.failed;
+    nc_txns_.emplace(txn, std::move(st));
+  }
+
+  // Roots that logged a decision before crashing re-broadcast it to every
+  // node: participants whose decision message died with us resolve, nodes
+  // that already applied it (or never saw the txn) just ack, and the acks
+  // land in an empty nc_roots_ and are dropped. In-doubt txns rooted here
+  // WITHOUT a logged decision are presumed aborted - the forced
+  // kNcRootDecision record is the only possible source of a delivered
+  // commit, so no participant can have committed.
+  std::map<TxnId, bool> decisions = recovered->root_decisions;
+  for (const auto& [txn, in_doubt] : recovered->in_doubt) {
+    if (GlobalIdEndpoint(txn) == options_.id && !decisions.count(txn)) {
+      WalRecord rec;
+      rec.type = WalRecordType::kNcRootDecision;
+      rec.txn = txn;
+      rec.flag = false;
+      LogRecord(rec, /*force=*/true);
+      decisions.emplace(txn, false);
+    }
+  }
+  for (const auto& [txn, commit] : decisions) {
+    for (NodeId p = 0; p < options_.num_nodes; ++p) {
+      Message m;
+      m.type = MsgType::kDecision;
+      m.from = options_.id;
+      m.txn = txn;
+      m.flag = commit;
+      network_->Send(p, std::move(m));
+    }
+  }
+}
+
+void Node::LogRecord(const WalRecord& rec, bool force) {
+  if (wal_ == nullptr) return;
+  std::lock_guard<std::mutex> lock(wal_mu_);
+  Status s = wal_->Append(rec, force);
+  if (!s.ok()) {
+    THREEV_LOG(kWarn) << "node " << options_.id
+                      << ": wal append failed: " << s.ToString();
+  }
+}
+
+void Node::LogCounter(Version v, bool is_r, NodeId peer) {
+  if (wal_ == nullptr) return;
+  WalRecord rec;
+  rec.type = WalRecordType::kCounter;
+  rec.version = v;
+  rec.flag = is_r;
+  rec.peer = peer;
+  LogRecord(rec);
+}
+
+void Node::ReserveSeqsLocked() {
+  if (wal_ == nullptr) return;
+  uint64_t next = std::max(next_txn_seq_, next_subtxn_seq_);
+  if (next < seq_reserved_until_) return;
+  WalRecord rec;
+  rec.type = WalRecordType::kSeqReserve;
+  rec.seq = next + kSeqReserveBlock;
+  LogRecord(rec, /*force=*/true);
+  seq_reserved_until_ = rec.seq;
+}
+
+Status Node::WriteCheckpoint() {
+  if (wal_ == nullptr) {
+    return Status::FailedPrecondition("durability disabled");
+  }
+  CheckpointData ck;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!pending_.empty() || !nc_txns_.empty() || !gate_waiters_.empty()) {
+      return Status::FailedPrecondition(
+          "node " + std::to_string(options_.id) +
+          " not quiescent: " + std::to_string(pending_.size()) +
+          " pending, " + std::to_string(nc_txns_.size()) + " nc txns");
+    }
+    ck.vu = vu_;
+    ck.vr = vr_;
+    ck.seq_floor = seq_reserved_until_;
+  }
+  {
+    // Rotate first: every record from here on lands in a segment the
+    // checkpoint does not cover, so non-idempotent counter deltas are
+    // replayed exactly once.
+    std::lock_guard<std::mutex> lock(wal_mu_);
+    Status s = wal_->RotateSegment();
+    if (!s.ok()) return s;
+    ck.wal_segment = wal_->current_segment();
+  }
+  for (auto& [key, version, value] : store_.DumpAll()) {
+    ck.store.push_back(WalImage{std::move(key), version, std::move(value)});
+  }
+  for (Version v : counters_.ActiveVersions()) {
+    CheckpointData::CounterRow row;
+    row.version = v;
+    for (const auto& [q, count] : counters_.SnapshotR(v)) row.r.push_back(count);
+    for (const auto& [o, count] : counters_.SnapshotC(v)) row.c.push_back(count);
+    ck.counters.push_back(std::move(row));
+  }
+  Status s = WriteCheckpointFile(options_.wal_dir, ck);
+  if (!s.ok()) return s;
+  if (metrics_ != nullptr) {
+    metrics_->checkpoints_written.fetch_add(1, std::memory_order_relaxed);
+    size_t bytes = 0;
+    for (const auto& img : ck.store) {
+      bytes += img.key.size() + img.value.ByteSize() + 12;
+    }
+    metrics_->checkpoint_bytes.fetch_add(static_cast<int64_t>(bytes),
+                                         std::memory_order_relaxed);
+  }
+  std::lock_guard<std::mutex> lock(wal_mu_);
+  return wal_->TruncateBefore(ck.wal_segment);
+}
+
+void Node::ArmTwopcRetry(TxnId txn) {
+  if (options_.twopc_retry_interval <= 0) return;
+  network_->ScheduleAfter(options_.twopc_retry_interval, [this, txn] {
+    if (halted_.load(std::memory_order_acquire)) return;
+    std::vector<NodeId> targets;
+    bool prepare = false;
+    bool commit = true;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      auto rit = nc_roots_.find(txn);
+      if (rit == nc_roots_.end()) return;  // root resolved: watchdog dies
+      auto pit = pending_.find(rit->second);
+      if (pit == pending_.end()) return;
+      const PendingSubtxn& rec = pit->second;
+      if (!rec.vote_waiting.empty()) {
+        prepare = true;
+        targets.assign(rec.vote_waiting.begin(), rec.vote_waiting.end());
+      } else {
+        targets.assign(rec.ack_waiting.begin(), rec.ack_waiting.end());
+        commit = rec.commit;
+      }
+    }
+    if (!targets.empty() && metrics_ != nullptr) {
+      metrics_->twopc_retransmits.fetch_add(
+          static_cast<int64_t>(targets.size()), std::memory_order_relaxed);
+    }
+    for (NodeId p : targets) {
+      Message m;
+      m.type = prepare ? MsgType::kPrepare : MsgType::kDecision;
+      m.from = options_.id;
+      m.txn = txn;
+      m.flag = prepare ? false : commit;
+      network_->Send(p, std::move(m));
+    }
+    ArmTwopcRetry(txn);
+  });
 }
 
 Version Node::vu() const {
@@ -48,8 +256,8 @@ std::string Node::DebugString() const {
            std::to_string(rec.txn) + " v" + std::to_string(rec.version) +
            (rec.is_root ? " root" : "") + " outstanding=" +
            std::to_string(rec.outstanding) +
-           " votes=" + std::to_string(rec.votes_pending) +
-           " acks=" + std::to_string(rec.acks_pending) +
+           " votes=" + std::to_string(rec.vote_waiting.size()) +
+           " acks=" + std::to_string(rec.ack_waiting.size()) +
            " status=" + rec.status.ToString() + "\n";
   }
   for (const auto& [txn, st] : nc_txns_) {
@@ -65,6 +273,7 @@ std::string Node::DebugString() const {
 
 SubtxnId Node::NewSubtxnId() {
   std::lock_guard<std::mutex> lock(mu_);
+  ReserveSeqsLocked();
   return MakeGlobalId(options_.id, next_subtxn_seq_++);
 }
 
@@ -75,6 +284,8 @@ bool Node::InjectAbort() {
 }
 
 void Node::HandleMessage(const Message& msg) {
+  // A halted node is crashed: messages already queued for it die here.
+  if (halted_.load(std::memory_order_acquire)) return;
   switch (msg.type) {
     case MsgType::kClientSubmit:
       OnClientSubmit(msg);
@@ -140,6 +351,7 @@ void Node::OnClientSubmit(const Message& msg) {
   auto ctx = std::make_shared<ExecContext>();
   {
     std::lock_guard<std::mutex> lock(mu_);
+    ReserveSeqsLocked();
     ctx->txn = MakeGlobalId(options_.id, next_txn_seq_++);
     ctx->subtxn = MakeGlobalId(options_.id, next_subtxn_seq_++);
   }
@@ -192,6 +404,7 @@ void Node::StartSubtxn(ExecPtr ctx) {
         ctx->version = vu_;
       }
       counters_.IncR(ctx->version, options_.id);
+      LogCounter(ctx->version, /*is_r=*/true, options_.id);
     } else if (!ctx->read_only) {
       if (options_.version_assignment == VersionAssignment::kLocalPeriod) {
         // Manual-versioning baseline: the write lands in whatever period
@@ -293,6 +506,7 @@ void Node::ProceedNonCommuting(ExecPtr ctx) {
 void Node::ArmLockTimeout(ExecPtr ctx) {
   ExecPtr c = std::move(ctx);
   network_->ScheduleAfter(options_.nc_lock_timeout, [this, c] {
+    if (halted_.load(std::memory_order_acquire)) return;
     {
       std::lock_guard<std::mutex> lock(mu_);
       if (c->lock_done) return;
@@ -379,6 +593,7 @@ std::vector<std::pair<std::string, LockMode>> Node::ComputeLockNeeds(
 
 void Node::ExecuteBody(ExecPtr ctx) {
   std::map<std::string, Value> reads;
+  std::vector<WalImage> images;
   for (const auto& op : ctx->plan.ops) {
     if (op.kind == OpKind::kGet) {
       // Read the maximum existing version not exceeding V(T); a key that
@@ -390,8 +605,24 @@ void Node::ExecuteBody(ExecPtr ctx) {
         reads[key] = std::move(value);
       }
     } else {
-      store_.Update(op.key, ctx->version, op);
+      std::vector<std::pair<Version, Value>> after;
+      store_.Update(op.key, ctx->version, op,
+                    wal_ != nullptr ? &after : nullptr);
+      for (auto& [v, value] : after) {
+        images.push_back(WalImage{op.key, v, std::move(value)});
+      }
     }
+  }
+
+  // Log before externalizing: no child request or completion notice may
+  // leave this node before the redo images it depends on are durable.
+  if (!images.empty()) {
+    WalRecord rec;
+    rec.type = WalRecordType::kUpdate;
+    rec.version = ctx->version;
+    rec.txn = ctx->txn;
+    rec.images = std::move(images);
+    LogRecord(rec);
   }
 
   std::vector<SubtxnId> spawned;
@@ -408,11 +639,25 @@ void Node::ExecuteBody(ExecPtr ctx) {
   // quiescence check honest while compensation traffic is in flight.
   if (ctx->is_root && !ctx->read_only && !ctx->compensation &&
       InjectAbort()) {
+    std::vector<WalImage> inverse_images;
     for (auto it = ctx->plan.ops.rbegin(); it != ctx->plan.ops.rend(); ++it) {
       Operation inv;
       if (it->kind != OpKind::kGet && it->Invert(inv)) {
-        store_.Update(inv.key, ctx->version, inv);
+        std::vector<std::pair<Version, Value>> after;
+        store_.Update(inv.key, ctx->version, inv,
+                      wal_ != nullptr ? &after : nullptr);
+        for (auto& [v, value] : after) {
+          inverse_images.push_back(WalImage{inv.key, v, std::move(value)});
+        }
       }
+    }
+    if (!inverse_images.empty()) {
+      WalRecord rec;
+      rec.type = WalRecordType::kUpdate;
+      rec.version = ctx->version;
+      rec.txn = ctx->txn;
+      rec.images = std::move(inverse_images);
+      LogRecord(rec);
     }
     for (const auto& child : ctx->plan.children) {
       Result<SubtxnPlan> comp = MakeCompensationPlan(child);
@@ -435,6 +680,7 @@ void Node::ExecuteBody(ExecPtr ctx) {
 void Node::ExecuteBodyNC(ExecPtr ctx) {
   std::map<std::string, Value> reads;
   std::vector<UndoEntry> undo_local;
+  std::vector<WalImage> nc_images;
   Status failure;
   for (const auto& op : ctx->plan.ops) {
     if (op.kind == OpKind::kGet) {
@@ -451,13 +697,34 @@ void Node::ExecuteBodyNC(ExecPtr ctx) {
       continue;
     }
     UndoEntry undo;
-    Status s = store_.UpdateExact(op.key, ctx->version, op, &undo);
+    Value after;
+    Status s = store_.UpdateExact(op.key, ctx->version, op, &undo,
+                                  wal_ != nullptr ? &after : nullptr);
     if (!s.ok()) {
       // Section 5 step 4: the item exists in a newer version - abort.
       failure = s;
       break;
     }
+    if (wal_ != nullptr) {
+      nc_images.push_back(WalImage{op.key, ctx->version, std::move(after)});
+    }
     undo_local.push_back(std::move(undo));
+  }
+
+  // The full participant state - redo images, undo entries, the deferred
+  // completion pair - goes to the log before any child request or
+  // completion notice leaves this node: a restarted participant re-enters
+  // 2PC with exactly this record.
+  {
+    WalRecord rec;
+    rec.type = WalRecordType::kNcExecute;
+    rec.version = ctx->version;
+    rec.peer = ctx->source;
+    rec.txn = ctx->txn;
+    rec.failed = !failure.ok();
+    rec.images = std::move(nc_images);
+    rec.undo = undo_local;
+    LogRecord(rec);
   }
 
   std::vector<SubtxnId> spawned;
@@ -483,6 +750,7 @@ SubtxnId Node::SpawnChild(const ExecPtr& ctx, const SubtxnPlan& child,
   SubtxnId sid = NewSubtxnId();
   // Section 4.1 step 5: increment R(v)[here][target] *before* sending.
   counters_.IncR(ctx->version, child.node);
+  LogCounter(ctx->version, /*is_r=*/true, child.node);
   Message m;
   m.type = MsgType::kSubtxnRequest;
   m.from = options_.id;
@@ -572,6 +840,7 @@ void Node::CompleteSubtxn(PendingSubtxn rec) {
   // increment is deferred to the 2PC decision (Section 5 step 6).
   if (rec.klass != TxnClass::kNonCommuting) {
     counters_.IncC(rec.version, rec.source);
+    LogCounter(rec.version, /*is_r=*/false, rec.source);
   }
   if (rec.is_root) {
     ResolveRoot(std::move(rec));
@@ -617,14 +886,23 @@ void Node::ResolveRoot(PendingSubtxn rec) {
                                    rec.participants.end());
   TxnId txn = rec.txn;
   bool prepare = rec.status.ok();
+  if (!prepare) {
+    // Presumed abort still logs the decision before distributing it: a
+    // restarted root must re-drive the aborts, not forget the transaction.
+    WalRecord wrec;
+    wrec.type = WalRecordType::kNcRootDecision;
+    wrec.txn = txn;
+    wrec.flag = false;
+    LogRecord(wrec, /*force=*/true);
+  }
   {
     std::lock_guard<std::mutex> lock(mu_);
     nc_roots_[txn] = rec.subtxn;
     if (prepare) {
-      rec.votes_pending = participants.size();
+      rec.vote_waiting.insert(participants.begin(), participants.end());
     } else {
       rec.commit = false;
-      rec.acks_pending = participants.size();
+      rec.ack_waiting.insert(participants.begin(), participants.end());
     }
     pending_.emplace(rec.subtxn, std::move(rec));
   }
@@ -636,6 +914,7 @@ void Node::ResolveRoot(PendingSubtxn rec) {
     m.flag = false;  // only meaningful for kDecision: abort
     network_->Send(p, std::move(m));
   }
+  ArmTwopcRetry(txn);
 }
 
 void Node::FinishRoot(PendingSubtxn& rec, Status status) {
@@ -683,7 +962,25 @@ void Node::OnPrepare(const Message& msg) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     auto it = nc_txns_.find(msg.txn);
-    if (it != nc_txns_.end() && it->second.failed) vote = false;
+    if (it == nc_txns_.end()) {
+      // No participant state: either this node crashed before the
+      // subtransaction's kNcExecute record was durable (its effects are
+      // gone, so commit would be wrong) or the decision was already
+      // applied here and this is a stale retransmitted prepare (the root
+      // has decided, so the no-vote is ignored). Either way: vote no.
+      vote = false;
+    } else if (it->second.failed) {
+      vote = false;
+    }
+  }
+  if (vote) {
+    // The yes-vote is a durable promise: after a reboot this node must
+    // still be able to honor a commit decision, which requires the
+    // prepared state (and its log records) to survive.
+    WalRecord rec;
+    rec.type = WalRecordType::kNcPrepared;
+    rec.txn = msg.txn;
+    LogRecord(rec, /*force=*/true);
   }
   Message m;
   m.type = MsgType::kVote;
@@ -704,16 +1001,25 @@ void Node::OnVote(const Message& msg) {
     auto pit = pending_.find(rit->second);
     if (pit == pending_.end()) return;
     PendingSubtxn& rec = pit->second;
+    if (rec.vote_waiting.erase(msg.from) == 0) return;  // duplicate vote
     if (!msg.flag) rec.commit = false;
-    THREEV_CHECK(rec.votes_pending > 0);
-    if (--rec.votes_pending == 0) {
+    if (rec.vote_waiting.empty() && rec.ack_waiting.empty()) {
       decide = true;
       commit = rec.commit;
-      rec.acks_pending = rec.participants.size();
+      rec.ack_waiting.insert(rec.participants.begin(),
+                             rec.participants.end());
       participants.assign(rec.participants.begin(), rec.participants.end());
     }
   }
   if (!decide) return;
+  // Force the decision record before the first decision message leaves:
+  // presumed abort on recovery is sound only if a logged decision is the
+  // sole possible source of a delivered commit.
+  WalRecord rec;
+  rec.type = WalRecordType::kNcRootDecision;
+  rec.txn = msg.txn;
+  rec.flag = commit;
+  LogRecord(rec, /*force=*/true);
   for (NodeId p : participants) {
     Message m;
     m.type = MsgType::kDecision;
@@ -726,13 +1032,25 @@ void Node::OnVote(const Message& msg) {
 
 void Node::OnDecision(const Message& msg) {
   NcTxnState st;
+  bool known = false;
   {
     std::lock_guard<std::mutex> lock(mu_);
     auto it = nc_txns_.find(msg.txn);
     if (it != nc_txns_.end()) {
+      known = true;
       st = std::move(it->second);
       nc_txns_.erase(it);
     }
+  }
+  // Durable before applied: replay re-derives the undo application from
+  // the still-logged kNcExecute state, and the completion increments
+  // follow as their own kCounter records below.
+  if (known) {
+    WalRecord rec;
+    rec.type = WalRecordType::kNcDecision;
+    rec.txn = msg.txn;
+    rec.flag = msg.flag;
+    LogRecord(rec, /*force=*/true);
   }
   if (!msg.flag) {
     for (auto it = st.undo.rbegin(); it != st.undo.rend(); ++it) {
@@ -744,6 +1062,7 @@ void Node::OnDecision(const Message& msg) {
   // the transaction for quiescence-detection purposes.
   for (const auto& [version, source] : st.completions) {
     counters_.IncC(version, source);
+    LogCounter(version, /*is_r=*/false, source);
   }
   locks_.CancelWaits(msg.txn);
   locks_.ReleaseAll(msg.txn);
@@ -764,8 +1083,8 @@ void Node::OnDecisionAck(const Message& msg) {
     if (rit == nc_roots_.end()) return;
     auto pit = pending_.find(rit->second);
     if (pit == pending_.end()) return;
-    THREEV_CHECK(pit->second.acks_pending > 0);
-    if (--pit->second.acks_pending == 0) {
+    if (pit->second.ack_waiting.erase(msg.from) == 0) return;  // duplicate
+    if (pit->second.ack_waiting.empty()) {
       done = true;
       rec = std::move(pit->second);
       pending_.erase(pit);
@@ -792,6 +1111,11 @@ void Node::AdvanceUpdateVersionLocked(Version v) {
   frozen_time_[vu_] = network_->Now();
   vu_ = v;
   // Counter rows for the new version are created lazily on first touch.
+  WalRecord rec;
+  rec.type = WalRecordType::kVersionSwitch;
+  rec.version = v;
+  rec.flag = true;  // vu
+  LogRecord(rec);
 }
 
 void Node::OnStartAdvancement(const Message& msg) {
@@ -825,7 +1149,14 @@ void Node::OnCounterRead(const Message& msg) {
 void Node::OnReadVersionAdvance(const Message& msg) {
   {
     std::lock_guard<std::mutex> lock(mu_);
-    if (msg.version > vr_) vr_ = msg.version;
+    if (msg.version > vr_) {
+      vr_ = msg.version;
+      WalRecord rec;
+      rec.type = WalRecordType::kVersionSwitch;
+      rec.version = msg.version;
+      rec.flag = false;  // vr
+      LogRecord(rec);
+    }
   }
   Message m;
   m.type = MsgType::kReadVersionAdvanceAck;
@@ -853,6 +1184,12 @@ void Node::WakeVersionGateWaiters() {
 }
 
 void Node::OnGarbageCollect(const Message& msg) {
+  // Durable before applied (and before the ack): replay re-runs the same
+  // GC over the reconstructed store, which is idempotent.
+  WalRecord rec;
+  rec.type = WalRecordType::kGarbageCollect;
+  rec.version = msg.version;
+  LogRecord(rec);
   store_.GarbageCollect(msg.version);
   counters_.DropBelow(msg.version);
   {

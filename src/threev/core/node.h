@@ -1,6 +1,7 @@
 #ifndef THREEV_CORE_NODE_H_
 #define THREEV_CORE_NODE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <map>
@@ -16,6 +17,7 @@
 #include "threev/common/random.h"
 #include "threev/common/status.h"
 #include "threev/core/counters.h"
+#include "threev/durability/wal.h"
 #include "threev/lock/lock_manager.h"
 #include "threev/metrics/metrics.h"
 #include "threev/net/network.h"
@@ -71,6 +73,16 @@ struct NodeOptions {
   // see DESIGN.md for the scoping of this simplification).
   double inject_abort_probability = 0.0;
   uint64_t seed = 1;
+  // Durability. Empty `wal_dir` disables logging entirely (the seed's
+  // in-memory behavior). With a directory set, the node recovers from
+  // checkpoint + WAL at construction and appends redo records as it runs.
+  std::string wal_dir;
+  FsyncPolicy fsync = FsyncPolicy::kNone;
+  size_t wal_segment_bytes = 4u << 20;
+  // Root-side 2PC retransmission: re-send kPrepare / kDecision to
+  // participants that have not answered (their reply - or the original
+  // message - died with a crashed node). 0 disables.
+  Micros twopc_retry_interval = 50'000;
 };
 
 // One database node (site) running the 3V protocol.
@@ -104,6 +116,19 @@ class Node {
   // Network entry point; register with Network::RegisterEndpoint.
   void HandleMessage(const Message& msg);
 
+  // Crash simulation: a halted node ignores every subsequent message and
+  // timer callback. Irreversible - "restarting" means constructing a fresh
+  // Node over the same wal_dir (see Cluster::RestartNode).
+  void Halt();
+  bool halted() const { return halted_.load(std::memory_order_acquire); }
+
+  // Snapshots the store + counters + version variables to a checkpoint file
+  // paired with a WAL rotation, then truncates covered segments. Refuses
+  // (kFailedPrecondition) while any subtransaction tree or non-commuting
+  // transaction is open here: checkpoints are quiescent by construction, so
+  // in-doubt 2PC state never needs to be serialized into them.
+  Status WriteCheckpoint();
+
   // --- introspection --------------------------------------------------
   NodeId id() const { return options_.id; }
   Version vu() const;
@@ -114,6 +139,8 @@ class Node {
   LockManager& locks() { return locks_; }
   // Subtransactions whose subtrees have not completed yet at this node.
   size_t PendingSubtxns() const;
+  // Null when durability is disabled.
+  WriteAheadLog* wal() { return wal_.get(); }
 
   // Multi-line diagnostic snapshot: versions, pending subtransactions,
   // open non-commuting transactions, queued version-gate waiters.
@@ -167,9 +194,11 @@ class Node {
     uint64_t client_seq = 0;
     Micros submit_time = 0;
     // Two-phase commit state (root of a non-commuting transaction).
-    size_t votes_pending = 0;
+    // Sets rather than counts: retransmitted prepares/decisions produce
+    // duplicate votes/acks, which must deduplicate, not underflow.
+    std::set<NodeId> vote_waiting;
     bool commit = true;
-    size_t acks_pending = 0;
+    std::set<NodeId> ack_waiting;
   };
 
   // Per-node state of a non-commuting transaction (participant side).
@@ -226,6 +255,19 @@ class Node {
   void ResolveRoot(PendingSubtxn rec);
   void FinishRoot(PendingSubtxn& rec, Status status);
 
+  // --- durability ---
+  // Rebuilds state from checkpoint + WAL and re-enters in-doubt 2PC
+  // (ctor-time; no-ops without a wal_dir).
+  void RecoverFromLog();
+  // Appends one redo record (no-op when durability is off).
+  void LogRecord(const WalRecord& rec, bool force = false);
+  // Counter-delta record for IncR/IncC (the only non-idempotent records).
+  void LogCounter(Version v, bool is_r, NodeId peer);
+  // Reserves a block of id sequence numbers ahead of use (kSeqReserve).
+  void ReserveSeqsLocked();
+  // Root-side 2PC retransmission watchdog; re-arms until the root resolves.
+  void ArmTwopcRetry(TxnId txn);
+
   // --- helpers ---
   void AdvanceUpdateVersionLocked(Version v);
   void WakeVersionGateWaiters();
@@ -243,6 +285,12 @@ class Node {
   CounterTable counters_;
   LockManager locks_;
 
+  // Guards WAL appends (lock order: mu_ may be held when taking wal_mu_,
+  // never the reverse). Null when durability is disabled.
+  std::mutex wal_mu_;
+  std::unique_ptr<WriteAheadLog> wal_;
+  std::atomic<bool> halted_{false};
+
   mutable std::mutex mu_;
   Version vu_;
   Version vr_;
@@ -251,6 +299,7 @@ class Node {
   std::map<Version, Micros> frozen_time_;
   uint64_t next_txn_seq_ = 1;
   uint64_t next_subtxn_seq_ = 1;
+  uint64_t seq_reserved_until_ = 0;  // ids below this are WAL-reserved
   Rng rng_;
   std::map<SubtxnId, PendingSubtxn> pending_;
   std::map<TxnId, SubtxnId> nc_roots_;  // routes kVote / kDecisionAck

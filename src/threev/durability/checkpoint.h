@@ -1,0 +1,46 @@
+#ifndef THREEV_DURABILITY_CHECKPOINT_H_
+#define THREEV_DURABILITY_CHECKPOINT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "threev/common/ids.h"
+#include "threev/common/status.h"
+#include "threev/durability/wal.h"
+
+namespace threev {
+
+// A materialized node state at a quiesced point: the versioned store, the
+// counter matrices and the version variables. A checkpoint always pairs
+// with a WAL rotation - `wal_segment` names the first segment whose records
+// post-date the snapshot, so replay = load checkpoint + redo segments
+// >= wal_segment, with no overlap (counter deltas must not double-apply).
+struct CheckpointData {
+  Version vu = 1;
+  Version vr = 0;
+  uint64_t seq_floor = 1;     // resume local id sequences at/above this
+  uint64_t wal_segment = 1;   // first WAL segment not covered by snapshot
+
+  std::vector<WalImage> store;  // every (key, version, value) copy
+
+  struct CounterRow {
+    Version version = 0;
+    std::vector<int64_t> r;  // R(version)[me][q] for q = 0..n-1
+    std::vector<int64_t> c;  // C(version)[o][me] for o = 0..n-1
+  };
+  std::vector<CounterRow> counters;
+};
+
+// Writes `data` to "<dir>/checkpoint-<wal_segment>.ckpt" atomically
+// (temp file + rename) with a trailing CRC over the whole payload.
+Status WriteCheckpointFile(const std::string& dir, const CheckpointData& data);
+
+// Loads the newest checkpoint that passes its CRC; NotFound if none exists.
+// An unreadable or corrupt newest file falls back to the next older one
+// (its WAL segments still exist, so recovery stays correct, just longer).
+Result<CheckpointData> LoadLatestCheckpoint(const std::string& dir);
+
+}  // namespace threev
+
+#endif  // THREEV_DURABILITY_CHECKPOINT_H_

@@ -1,0 +1,69 @@
+#ifndef THREEV_DURABILITY_RECOVERY_H_
+#define THREEV_DURABILITY_RECOVERY_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "threev/common/ids.h"
+#include "threev/common/status.h"
+#include "threev/core/counters.h"
+#include "threev/durability/checkpoint.h"
+#include "threev/durability/wal.h"
+#include "threev/metrics/metrics.h"
+#include "threev/storage/versioned_store.h"
+
+namespace threev {
+
+// What a node learns from checkpoint + redo replay, beyond the store and
+// counter contents (which are installed directly into the passed objects).
+struct RecoveredState {
+  Version vu = 1;
+  Version vr = 0;
+  // Local id sequences must resume at/above this (reserved-block rule).
+  uint64_t seq_floor = 1;
+
+  // Non-commuting transactions that executed here but have no logged
+  // decision: the node re-enters 2PC with this state (prepared entries
+  // voted yes before the crash and MUST honor a later commit decision).
+  struct InDoubtTxn {
+    std::vector<UndoEntry> undo;
+    std::vector<std::pair<Version, NodeId>> completions;
+    bool failed = false;
+    bool prepared = false;
+  };
+  std::map<TxnId, InDoubtTxn> in_doubt;
+
+  // Root-side decisions logged before distribution. Rebroadcasting them is
+  // idempotent and un-sticks participants whose decision message died with
+  // the crashed root. In-doubt txns rooted here with no logged decision are
+  // presumed aborted (the forced kNcRootDecision record guarantees no
+  // participant can have received a commit).
+  std::map<TxnId, bool> root_decisions;
+
+  // Replay accounting (metrics / tests).
+  size_t checkpoint_images = 0;
+  size_t wal_records = 0;
+  uint64_t wal_bytes = 0;
+};
+
+// Rebuilds `store` and `counters` (both must be freshly constructed) from
+// the newest checkpoint plus all WAL segments behind it in `dir`. A missing
+// checkpoint means replay from the first segment; a missing directory or a
+// directory with neither checkpoint nor log recovers to the initial state
+// (vu=1, vr=0, empty store).
+Result<RecoveredState> RecoverNodeState(const std::string& dir,
+                                        VersionedStore* store,
+                                        CounterTable* counters,
+                                        Metrics* metrics = nullptr);
+
+// Applies one redo record to (store, counters, state). Exposed so tests can
+// drive replay record-by-record; RecoverNodeState loops over this.
+void ApplyWalRecord(const WalRecord& rec, VersionedStore* store,
+                    CounterTable* counters, RecoveredState* state);
+
+}  // namespace threev
+
+#endif  // THREEV_DURABILITY_RECOVERY_H_

@@ -1,0 +1,311 @@
+#include "threev/durability/wal.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstring>
+#include <filesystem>
+
+#include "threev/common/logging.h"
+#include "threev/net/wire.h"
+
+namespace threev {
+
+namespace fs = std::filesystem;
+
+const char* WalRecordTypeName(WalRecordType type) {
+  switch (type) {
+    case WalRecordType::kUpdate: return "Update";
+    case WalRecordType::kVersionSwitch: return "VersionSwitch";
+    case WalRecordType::kCounter: return "Counter";
+    case WalRecordType::kNcExecute: return "NcExecute";
+    case WalRecordType::kNcPrepared: return "NcPrepared";
+    case WalRecordType::kNcDecision: return "NcDecision";
+    case WalRecordType::kNcRootDecision: return "NcRootDecision";
+    case WalRecordType::kGarbageCollect: return "GarbageCollect";
+    case WalRecordType::kSeqReserve: return "SeqReserve";
+  }
+  return "?";
+}
+
+std::string WalRecord::ToString() const {
+  std::string out = WalRecordTypeName(type);
+  out += " v" + std::to_string(version);
+  if (txn != 0) out += " txn=" + std::to_string(txn);
+  if (!images.empty()) out += " images=" + std::to_string(images.size());
+  if (!undo.empty()) out += " undo=" + std::to_string(undo.size());
+  return out;
+}
+
+uint32_t WalCrc32(const uint8_t* data, size_t size) {
+  // Standard CRC-32 (IEEE 802.3), small table built on first use.
+  static const uint32_t* table = [] {
+    static uint32_t t[256];
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  uint32_t crc = 0xffffffffu;
+  for (size_t i = 0; i < size; ++i) {
+    crc = table[(crc ^ data[i]) & 0xffu] ^ (crc >> 8);
+  }
+  return crc ^ 0xffffffffu;
+}
+
+namespace {
+
+void EncodeWalValue(WireWriter& w, const Value& v) {
+  w.I64(v.num);
+  w.U32(static_cast<uint32_t>(v.ids.size()));
+  for (uint64_t id : v.ids) w.U64(id);
+  w.Str(v.str);
+}
+
+Value DecodeWalValue(WireReader& r) {
+  Value v;
+  v.num = r.I64();
+  uint32_t n = r.U32();
+  if (n > (1u << 24)) n = 0;  // malformed length must not over-allocate
+  v.ids.reserve(n);
+  for (uint32_t i = 0; i < n && r.ok(); ++i) v.ids.push_back(r.U64());
+  v.str = r.Str();
+  return v;
+}
+
+}  // namespace
+
+std::vector<uint8_t> EncodeWalRecord(const WalRecord& rec) {
+  WireWriter w;
+  w.U8(static_cast<uint8_t>(rec.type));
+  w.U32(rec.version);
+  w.Bool(rec.flag);
+  w.U32(rec.peer);
+  w.U64(rec.txn);
+  w.U64(rec.seq);
+  w.Bool(rec.failed);
+  w.U32(static_cast<uint32_t>(rec.images.size()));
+  for (const auto& img : rec.images) {
+    w.Str(img.key);
+    w.U32(img.version);
+    EncodeWalValue(w, img.value);
+  }
+  w.U32(static_cast<uint32_t>(rec.undo.size()));
+  for (const auto& u : rec.undo) {
+    w.Str(u.key);
+    w.U32(u.version);
+    w.Bool(u.created);
+    EncodeWalValue(w, u.prior);
+  }
+  return w.Take();
+}
+
+Result<WalRecord> DecodeWalRecord(const uint8_t* data, size_t size) {
+  WireReader r(data, size);
+  WalRecord rec;
+  rec.type = static_cast<WalRecordType>(r.U8());
+  rec.version = r.U32();
+  rec.flag = r.Bool();
+  rec.peer = r.U32();
+  rec.txn = r.U64();
+  rec.seq = r.U64();
+  rec.failed = r.Bool();
+  uint32_t nimages = r.U32();
+  if (nimages > (1u << 20)) nimages = 0;
+  for (uint32_t i = 0; i < nimages && r.ok(); ++i) {
+    WalImage img;
+    img.key = r.Str();
+    img.version = r.U32();
+    img.value = DecodeWalValue(r);
+    rec.images.push_back(std::move(img));
+  }
+  uint32_t nundo = r.U32();
+  if (nundo > (1u << 20)) nundo = 0;
+  for (uint32_t i = 0; i < nundo && r.ok(); ++i) {
+    UndoEntry u;
+    u.key = r.Str();
+    u.version = r.U32();
+    u.created = r.Bool();
+    u.prior = DecodeWalValue(r);
+    rec.undo.push_back(std::move(u));
+  }
+  if (!r.ok()) return Status::IoError("truncated wal record");
+  if (!r.AtEnd()) return Status::IoError("trailing bytes in wal record");
+  return rec;
+}
+
+std::string WriteAheadLog::SegmentPath(const std::string& dir, uint64_t seg) {
+  char name[32];
+  std::snprintf(name, sizeof(name), "wal-%08llu.log",
+                static_cast<unsigned long long>(seg));
+  return (fs::path(dir) / name).string();
+}
+
+std::vector<uint64_t> WriteAheadLog::ListSegments(const std::string& dir) {
+  std::vector<uint64_t> out;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    const std::string name = entry.path().filename().string();
+    unsigned long long seg = 0;
+    if (std::sscanf(name.c_str(), "wal-%llu.log", &seg) == 1) {
+      out.push_back(seg);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+Result<std::unique_ptr<WriteAheadLog>> WriteAheadLog::Open(
+    const WalOptions& options, Metrics* metrics) {
+  if (options.dir.empty()) {
+    return Status::InvalidArgument("wal dir is empty");
+  }
+  std::error_code ec;
+  fs::create_directories(options.dir, ec);
+  if (ec) {
+    return Status::IoError("create " + options.dir + ": " + ec.message());
+  }
+  std::unique_ptr<WriteAheadLog> wal(new WriteAheadLog(options, metrics));
+  std::vector<uint64_t> segments = ListSegments(options.dir);
+  // Never append to an existing segment: its tail may be a torn frame from
+  // the previous incarnation, and replay stops at the first torn frame -
+  // anything appended after it would be unreachable.
+  uint64_t seg = segments.empty() ? 1 : segments.back() + 1;
+  Status s = wal->OpenSegment(seg);
+  if (!s.ok()) return s;
+  return wal;
+}
+
+WriteAheadLog::~WriteAheadLog() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+Status WriteAheadLog::OpenSegment(uint64_t seg) {
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+  const std::string path = SegmentPath(options_.dir, seg);
+  file_ = std::fopen(path.c_str(), "ab");
+  if (file_ == nullptr) {
+    return Status::IoError("open " + path + ": " + std::strerror(errno));
+  }
+  segment_ = seg;
+  long pos = std::ftell(file_);
+  segment_size_ = pos > 0 ? static_cast<size_t>(pos) : 0;
+  return Status::Ok();
+}
+
+Status WriteAheadLog::SyncNow() {
+  if (::fsync(::fileno(file_)) != 0) {
+    return Status::IoError(std::string("fsync: ") + std::strerror(errno));
+  }
+  if (metrics_ != nullptr) {
+    metrics_->wal_fsyncs.fetch_add(1, std::memory_order_relaxed);
+  }
+  return Status::Ok();
+}
+
+Status WriteAheadLog::Append(const WalRecord& rec, bool force) {
+  std::vector<uint8_t> payload = EncodeWalRecord(rec);
+  uint8_t header[8];
+  uint32_t len = static_cast<uint32_t>(payload.size());
+  uint32_t crc = WalCrc32(payload.data(), payload.size());
+  for (int i = 0; i < 4; ++i) {
+    header[i] = static_cast<uint8_t>(len >> (8 * i));
+    header[4 + i] = static_cast<uint8_t>(crc >> (8 * i));
+  }
+  if (std::fwrite(header, 1, sizeof(header), file_) != sizeof(header) ||
+      std::fwrite(payload.data(), 1, payload.size(), file_) !=
+          payload.size()) {
+    return Status::IoError("wal append failed");
+  }
+  // Always push the frame to the OS: recovery reads through the filesystem,
+  // so a process crash (the common fault) never loses flushed frames. The
+  // fsync policy only governs power-loss durability.
+  if (std::fflush(file_) != 0) {
+    return Status::IoError(std::string("fflush: ") + std::strerror(errno));
+  }
+  size_t frame = sizeof(header) + payload.size();
+  segment_size_ += frame;
+  bytes_appended_ += frame;
+  if (metrics_ != nullptr) {
+    metrics_->wal_records.fetch_add(1, std::memory_order_relaxed);
+    metrics_->wal_bytes.fetch_add(static_cast<int64_t>(frame),
+                                  std::memory_order_relaxed);
+    metrics_->wal_record_bytes.Record(static_cast<int64_t>(frame));
+  }
+  if (options_.fsync == FsyncPolicy::kEveryRecord ||
+      (options_.fsync == FsyncPolicy::kBatch && force)) {
+    Status s = SyncNow();
+    if (!s.ok()) return s;
+  }
+  if (segment_size_ >= options_.segment_bytes) {
+    return RotateSegment();
+  }
+  return Status::Ok();
+}
+
+Status WriteAheadLog::RotateSegment() {
+  if (options_.fsync != FsyncPolicy::kNone && segment_size_ > 0) {
+    Status s = SyncNow();
+    if (!s.ok()) return s;
+  }
+  return OpenSegment(segment_ + 1);
+}
+
+Status WriteAheadLog::TruncateBefore(uint64_t seg) {
+  for (uint64_t old : ListSegments(options_.dir)) {
+    if (old >= seg) break;
+    std::error_code ec;
+    fs::remove(SegmentPath(options_.dir, old), ec);
+    if (ec) {
+      return Status::IoError("remove segment " + std::to_string(old) + ": " +
+                             ec.message());
+    }
+  }
+  return Status::Ok();
+}
+
+Result<std::vector<WalRecord>> WriteAheadLog::ReadAll(const std::string& dir,
+                                                      uint64_t from_seg,
+                                                      uint64_t* bytes_read) {
+  std::vector<WalRecord> out;
+  uint64_t bytes = 0;
+  for (uint64_t seg : ListSegments(dir)) {
+    if (seg < from_seg) continue;
+    const std::string path = SegmentPath(dir, seg);
+    std::FILE* f = std::fopen(path.c_str(), "rb");
+    if (f == nullptr) {
+      return Status::IoError("open " + path + ": " + std::strerror(errno));
+    }
+    std::vector<uint8_t> payload;
+    for (;;) {
+      uint8_t header[8];
+      size_t n = std::fread(header, 1, sizeof(header), f);
+      if (n != sizeof(header)) break;  // clean end or torn header
+      uint32_t len = 0, crc = 0;
+      for (int i = 0; i < 4; ++i) {
+        len |= static_cast<uint32_t>(header[i]) << (8 * i);
+        crc |= static_cast<uint32_t>(header[4 + i]) << (8 * i);
+      }
+      if (len > (64u << 20)) break;  // implausible frame: treat as torn
+      payload.resize(len);
+      if (std::fread(payload.data(), 1, len, f) != len) break;  // torn tail
+      if (WalCrc32(payload.data(), len) != crc) break;  // corrupt frame
+      Result<WalRecord> rec = DecodeWalRecord(payload.data(), len);
+      if (!rec.ok()) break;  // CRC-valid but undecodable: stop replay here
+      bytes += sizeof(header) + len;
+      out.push_back(*std::move(rec));
+    }
+    std::fclose(f);
+  }
+  if (bytes_read != nullptr) *bytes_read = bytes;
+  return out;
+}
+
+}  // namespace threev

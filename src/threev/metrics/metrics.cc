@@ -20,10 +20,23 @@ void Metrics::Reset() {
   lock_waits = 0;
   lock_wait_micros = 0;
   version_gate_waits = 0;
+  wal_records = 0;
+  wal_bytes = 0;
+  wal_fsyncs = 0;
+  checkpoints_written = 0;
+  checkpoint_bytes = 0;
+  recoveries = 0;
+  recovery_replayed_bytes = 0;
+  messages_dropped = 0;
+  advancement_retransmits = 0;
+  twopc_retransmits = 0;
+  node_crashes = 0;
   update_latency.Reset();
   read_latency.Reset();
   advancement_latency.Reset();
   staleness.Reset();
+  recovery_latency.Reset();
+  wal_record_bytes.Reset();
 }
 
 std::string Metrics::Report() const {
@@ -43,9 +56,22 @@ std::string Metrics::Report() const {
   os << "blocking: lock_waits=" << lock_waits.load()
      << " lock_wait_us=" << lock_wait_micros.load()
      << " version_gate_waits=" << version_gate_waits.load() << "\n";
+  os << "durability: wal_records=" << wal_records.load()
+     << " wal_bytes=" << wal_bytes.load()
+     << " fsyncs=" << wal_fsyncs.load()
+     << " checkpoints=" << checkpoints_written.load()
+     << " checkpoint_bytes=" << checkpoint_bytes.load()
+     << " recoveries=" << recoveries.load()
+     << " replayed_bytes=" << recovery_replayed_bytes.load() << "\n";
+  os << "faults: crashes=" << node_crashes.load()
+     << " dropped=" << messages_dropped.load()
+     << " adv_retransmits=" << advancement_retransmits.load()
+     << " 2pc_retransmits=" << twopc_retransmits.load() << "\n";
   os << "update_latency: " << update_latency.Summary() << "\n";
   os << "read_latency:   " << read_latency.Summary() << "\n";
   os << "staleness:      " << staleness.Summary() << "\n";
+  os << "recovery_time:  " << recovery_latency.Summary() << "\n";
+  os << "wal_rec_bytes:  " << wal_record_bytes.Summary() << "\n";
   return os.str();
 }
 

@@ -41,11 +41,28 @@ struct Metrics {
   std::atomic<int64_t> lock_wait_micros{0};
   std::atomic<int64_t> version_gate_waits{0};    // NC3V vu==vr+1 gate
 
+  // Durability & crash recovery.
+  std::atomic<int64_t> wal_records{0};
+  std::atomic<int64_t> wal_bytes{0};
+  std::atomic<int64_t> wal_fsyncs{0};
+  std::atomic<int64_t> checkpoints_written{0};
+  std::atomic<int64_t> checkpoint_bytes{0};
+  std::atomic<int64_t> recoveries{0};
+  std::atomic<int64_t> recovery_replayed_bytes{0};
+  // Fault tolerance: dropped deliveries to dead endpoints and protocol
+  // retransmissions that un-stick advancement / 2PC after a crash.
+  std::atomic<int64_t> messages_dropped{0};
+  std::atomic<int64_t> advancement_retransmits{0};
+  std::atomic<int64_t> twopc_retransmits{0};
+  std::atomic<int64_t> node_crashes{0};
+
   // Latency distributions (microseconds; virtual under SimNet).
   Histogram update_latency;
   Histogram read_latency;
   Histogram advancement_latency;
   Histogram staleness;  // age of data returned to read-only transactions
+  Histogram recovery_latency;   // wall-clock checkpoint+log replay time
+  Histogram wal_record_bytes;   // framed size per appended redo record
 
   void Reset();
 

@@ -25,15 +25,27 @@ using MessageHandler = std::function<void(const Message&)>;
 //  * Channels are FIFO per (from, to) pair. The compensation model
 //    (Section 3.2) and the completion-notice bookkeeping do not strictly
 //    require FIFO, but the Table 1 replay and several tests do.
-//  * Messages are never lost or duplicated (the paper assumes a reliable
-//    network; crash faults are out of scope, see DESIGN.md).
+//  * Messages are never duplicated, and never lost while both endpoints
+//    stay up (the paper assumes a reliable network). Crash faults are
+//    injected via SetEndpointUp: messages to a down endpoint - including
+//    ones already in flight when it went down - are silently dropped, so
+//    protocol layers that must survive crashes retransmit (see DESIGN.md
+//    section 9).
 class Network {
  public:
   virtual ~Network() = default;
 
   // Registers the handler for endpoint `id`. Must be called before any
-  // traffic to that endpoint. Not thread-safe vs. Send.
+  // traffic to that endpoint. Not thread-safe vs. Send. Re-registering an
+  // id replaces the handler (a restarted node takes over its endpoint).
   virtual void RegisterEndpoint(NodeId id, MessageHandler handler) = 0;
+
+  // Crash-fault injection: while an endpoint is down, sends to it are
+  // dropped immediately and messages already in flight are discarded at
+  // delivery time - they are never queued for the next incarnation.
+  // Default is a no-op (transports without fault support deliver normally).
+  virtual void SetEndpointUp(NodeId id, bool up) { (void)id; (void)up; }
+  virtual bool EndpointUp(NodeId id) const { (void)id; return true; }
 
   // Sends `msg` (whose `from` field identifies the sender) to `to`.
   virtual void Send(NodeId to, Message msg) = 0;

@@ -9,9 +9,48 @@ SimNet::SimNet(SimNetOptions options, Metrics* metrics)
 
 void SimNet::RegisterEndpoint(NodeId id, MessageHandler handler) {
   handlers_[id] = std::move(handler);
+  liveness_.try_emplace(id);  // starts up, incarnation 0
 }
 
-void SimNet::DispatchNow(NodeId to, Message msg) {
+void SimNet::SetEndpointUp(NodeId id, bool up) {
+  Liveness& l = liveness_[id];
+  if (l.up == up) return;
+  l.up = up;
+  // A revival is a new incarnation: messages addressed to the previous one
+  // are dead even if their delivery event has not fired yet.
+  if (up) ++l.incarnation;
+}
+
+bool SimNet::EndpointUp(NodeId id) const {
+  auto it = liveness_.find(id);
+  return it == liveness_.end() || it->second.up;
+}
+
+bool SimNet::DeliverableTo(NodeId to, uint64_t sent_incarnation) const {
+  auto it = liveness_.find(to);
+  if (it == liveness_.end()) return true;
+  return it->second.up && it->second.incarnation == sent_incarnation;
+}
+
+void SimNet::DropMessage() {
+  if (metrics_ != nullptr) {
+    metrics_->messages_dropped.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void SimNet::DispatchNow(NodeId to, Message msg, uint64_t sent_incarnation) {
+  if (!DeliverableTo(to, sent_incarnation)) {
+    DropMessage();
+    return;
+  }
+  if (tap_) {
+    tap_(to, msg);
+    // The tap may have killed the destination; this message dies with it.
+    if (!DeliverableTo(to, sent_incarnation)) {
+      DropMessage();
+      return;
+    }
+  }
   auto it = handlers_.find(to);
   THREEV_CHECK(it != handlers_.end()) << "no endpoint " << to;
   it->second(msg);
@@ -23,9 +62,17 @@ void SimNet::Send(NodeId to, Message msg) {
     metrics_->bytes_sent.fetch_add(static_cast<int64_t>(msg.ApproxBytes()),
                                    std::memory_order_relaxed);
   }
+  uint64_t incarnation = 0;
+  if (auto it = liveness_.find(to); it != liveness_.end()) {
+    if (!it->second.up) {
+      DropMessage();
+      return;
+    }
+    incarnation = it->second.incarnation;
+  }
   if (options_.manual) {
     uint64_t id = next_held_id_++;
-    held_.emplace(id, PendingMessage{id, to, std::move(msg)});
+    held_.emplace(id, PendingMessage{id, to, std::move(msg), incarnation});
     return;
   }
   Micros delay = options_.min_delay +
@@ -42,8 +89,8 @@ void SimNet::Send(NodeId to, Message msg) {
     if (when <= watermark) when = watermark + 1;
     watermark = when;
   }
-  loop_.ScheduleAt(when, [this, to, m = std::move(msg)]() mutable {
-    DispatchNow(to, std::move(m));
+  loop_.ScheduleAt(when, [this, to, incarnation, m = std::move(msg)]() mutable {
+    DispatchNow(to, std::move(m), incarnation);
   });
 }
 
@@ -63,7 +110,7 @@ bool SimNet::Deliver(uint64_t id) {
   if (it == held_.end()) return false;
   PendingMessage pm = std::move(it->second);
   held_.erase(it);
-  DispatchNow(pm.to, std::move(pm.msg));
+  DispatchNow(pm.to, std::move(pm.msg), pm.sent_incarnation);
   return true;
 }
 

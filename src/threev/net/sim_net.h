@@ -37,6 +37,21 @@ class SimNet : public Network {
   void ScheduleAfter(Micros delay, std::function<void()> fn) override;
   Micros Now() const override { return loop_.Now(); }
 
+  // Crash-fault injection. Bringing an endpoint down drops new sends to it
+  // immediately and discards in-flight messages at delivery time; bringing
+  // it back up starts a new incarnation, so messages sent to the previous
+  // incarnation stay dead even if their delivery time is still ahead.
+  void SetEndpointUp(NodeId id, bool up) override;
+  bool EndpointUp(NodeId id) const override;
+
+  // Test hook invoked just before each message is dispatched to its
+  // handler (after liveness filtering). The tap may itself call
+  // SetEndpointUp(to, false) to model a crash triggered by this exact
+  // message: liveness is re-checked after the tap, so the message is then
+  // dropped instead of delivered. Pass nullptr to clear.
+  using DeliveryTap = std::function<void(NodeId to, const Message& msg)>;
+  void SetDeliveryTap(DeliveryTap tap) { tap_ = std::move(tap); }
+
   EventLoop& loop() { return loop_; }
 
   // --- manual mode ---------------------------------------------------
@@ -45,6 +60,9 @@ class SimNet : public Network {
     uint64_t id;
     NodeId to;
     Message msg;
+    // Destination incarnation at send time; a held message is discarded at
+    // Deliver if the endpoint died (or died and revived) in the interim.
+    uint64_t sent_incarnation = 0;
   };
 
   // Messages currently held (manual mode only), in send order.
@@ -63,13 +81,22 @@ class SimNet : public Network {
   size_t pending_count() const { return held_.size(); }
 
  private:
-  void DispatchNow(NodeId to, Message msg);
+  struct Liveness {
+    bool up = true;
+    uint64_t incarnation = 0;
+  };
+
+  void DispatchNow(NodeId to, Message msg, uint64_t sent_incarnation);
+  bool DeliverableTo(NodeId to, uint64_t sent_incarnation) const;
+  void DropMessage();
 
   SimNetOptions options_;
   Metrics* metrics_;  // unowned, may be null
   EventLoop loop_;
   Rng rng_;
   std::unordered_map<NodeId, MessageHandler> handlers_;
+  std::unordered_map<NodeId, Liveness> liveness_;
+  DeliveryTap tap_;
   // Per-channel watermark for FIFO enforcement: (from<<32|to) -> last
   // scheduled delivery time.
   std::unordered_map<uint64_t, Micros> channel_watermark_;

@@ -78,8 +78,9 @@ std::vector<std::pair<std::string, Value>> VersionedStore::ScanPrefix(
   return out;
 }
 
-Result<int> VersionedStore::Update(const std::string& key, Version version,
-                                   const Operation& op) {
+Result<int> VersionedStore::Update(
+    const std::string& key, Version version, const Operation& op,
+    std::vector<std::pair<Version, Value>>* after_images) {
   Shard& shard = ShardFor(key);
   std::lock_guard<std::mutex> lock(shard.mu);
   Record& rec = shard.records[key];
@@ -106,6 +107,7 @@ Result<int> VersionedStore::Update(const std::string& key, Version version,
   for (auto& [v, value] : rec.versions) {
     if (v >= version) {
       op.ApplyTo(value);
+      if (after_images != nullptr) after_images->emplace_back(v, value);
       ++applied;
     }
   }
@@ -118,7 +120,8 @@ Result<int> VersionedStore::Update(const std::string& key, Version version,
 }
 
 Status VersionedStore::UpdateExact(const std::string& key, Version version,
-                                   const Operation& op, UndoEntry* undo) {
+                                   const Operation& op, UndoEntry* undo,
+                                   Value* after_image) {
   Shard& shard = ShardFor(key);
   std::lock_guard<std::mutex> lock(shard.mu);
   Record& rec = shard.records[key];
@@ -151,6 +154,7 @@ Status VersionedStore::UpdateExact(const std::string& key, Version version,
     undo->prior = rec.versions[idx].second;
   }
   op.ApplyTo(rec.versions[idx].second);
+  if (after_image != nullptr) *after_image = rec.versions[idx].second;
   NoteVersionCount(rec.versions.size());
   return Status::Ok();
 }
@@ -215,6 +219,24 @@ std::map<Version, Value> VersionedStore::DumpItem(
   if (it != shard.records.end()) {
     for (const auto& [v, value] : it->second.versions) out[v] = value;
   }
+  return out;
+}
+
+std::vector<std::tuple<std::string, Version, Value>> VersionedStore::DumpAll()
+    const {
+  std::vector<std::tuple<std::string, Version, Value>> out;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (const auto& [key, rec] : shard.records) {
+      for (const auto& [v, value] : rec.versions) {
+        out.emplace_back(key, v, value);
+      }
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    if (std::get<0>(a) != std::get<0>(b)) return std::get<0>(a) < std::get<0>(b);
+    return std::get<1>(a) < std::get<1>(b);
+  });
   return out;
 }
 

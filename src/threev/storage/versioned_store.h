@@ -5,7 +5,9 @@
 #include <map>
 #include <mutex>
 #include <string>
+#include <tuple>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "threev/common/ids.h"
@@ -68,14 +70,20 @@ class VersionedStore {
   // 3V update (Section 4.1, step 4). Returns the number of version copies
   // the operation was applied to (>= 1; > 1 is a straggler dual-write).
   // Creates the key (empty value) if it does not exist at all.
+  // `after_images` (optional) receives one (version, value-after) pair per
+  // touched copy, captured inside the atomic step - the WAL's redo images.
   Result<int> Update(const std::string& key, Version version,
-                     const Operation& op);
+                     const Operation& op,
+                     std::vector<std::pair<Version, Value>>* after_images =
+                         nullptr);
 
   // NC3V update (Section 5, step 4): aborts with kAborted if a version
   // greater than `version` exists; otherwise check-and-create k(version)
-  // and apply `op` to that version only. Fills `undo` (required).
+  // and apply `op` to that version only. Fills `undo` (required) and
+  // `after_image` (optional: the value after the update, for redo logging).
   Status UpdateExact(const std::string& key, Version version,
-                     const Operation& op, UndoEntry* undo);
+                     const Operation& op, UndoEntry* undo,
+                     Value* after_image = nullptr);
 
   // Reverts one UpdateExact.
   void Undo(const UndoEntry& undo);
@@ -90,6 +98,11 @@ class VersionedStore {
 
   // Version -> value snapshot for one key.
   std::map<Version, Value> DumpItem(const std::string& key) const;
+
+  // Every (key, version, value) copy, sorted by key then version. Feeds
+  // checkpoint snapshots; call only at a quiesced point (shard locks are
+  // taken one at a time).
+  std::vector<std::tuple<std::string, Version, Value>> DumpAll() const;
 
   std::vector<std::string> Keys() const;
   size_t KeyCount() const;

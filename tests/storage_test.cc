@@ -119,6 +119,33 @@ TEST(VersionedStoreTest, GarbageCollectRelabelsWhenNewMissing) {
   EXPECT_EQ(store.Read("x", 1)->num, 9);
 }
 
+TEST(VersionedStoreTest, GarbageCollectRelabelEdgeCases) {
+  // Several versions older than vr_new but no exact copy: only the LATEST
+  // earlier version survives (relabeled); everything before it is dropped.
+  VersionedStore store;
+  store.Seed("x", Num(1), 0);
+  ASSERT_TRUE(store.Update("x", 1, OpAdd("x", 10)).ok());
+  store.GarbageCollect(2);
+  EXPECT_EQ(store.VersionsOf("x"), (std::vector<Version>{2}));
+  EXPECT_EQ(store.Read("x", 2)->num, 11);
+
+  // Relabel coexisting with a straggler-written newer version: the newer
+  // copy is untouched, the older one takes the vr_new label.
+  store.Seed("y", Num(5), 0);
+  ASSERT_TRUE(store.Update("y", 3, OpAdd("y", 1)).ok());
+  store.GarbageCollect(2);
+  EXPECT_EQ(store.VersionsOf("y"), (std::vector<Version>{2, 3}));
+  EXPECT_EQ(store.Read("y", 2)->num, 5);
+
+  // Only versions newer than vr_new exist (item created after the cut):
+  // nothing to relabel, nothing dropped.
+  VersionedStore fresh;
+  fresh.Seed("z", Num(7), 3);
+  fresh.GarbageCollect(2);
+  EXPECT_EQ(fresh.VersionsOf("z"), (std::vector<Version>{3}));
+  EXPECT_EQ(fresh.Read("z", 2).status().code(), StatusCode::kNotFound);
+}
+
 TEST(VersionedStoreTest, GarbageCollectKeepsNewerVersions) {
   VersionedStore store;
   store.Seed("x", Num(0), 0);
