@@ -38,10 +38,12 @@ uint64_t ManualVersioningSystem::Submit(NodeId origin, const TxnSpec& spec,
 void ManualVersioningSystem::SwitchPeriod() {
   Version new_period, new_readable, gc_below;
   {
-    std::lock_guard<std::mutex> lock(mu_);
-    new_period = ++period_;
-    new_readable = readable_ + 1;  // becomes readable after safety delay
-    gc_below = new_readable >= 1 ? new_readable - 1 : 0;
+    MutexLock lock(mu_);
+    period_ = NextVersion(period_);
+    new_period = period_;
+    // Becomes readable after the safety delay.
+    new_readable = NextVersion(readable_);
+    gc_below = new_readable >= 1 ? PrevVersion(new_readable) : 0;
   }
   for (auto& node : nodes_) {
     Message m;
@@ -54,7 +56,7 @@ void ManualVersioningSystem::SwitchPeriod() {
   // the closed period to readers. No quiescence check - this is the point.
   network_->ScheduleAfter(safety_delay_, [this, new_readable, gc_below] {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       if (new_readable > readable_) readable_ = new_readable;
     }
     for (auto& node : nodes_) {
@@ -76,7 +78,7 @@ void ManualVersioningSystem::SwitchPeriod() {
 
 void ManualVersioningSystem::EnableAutoAdvance(Micros period) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (auto_enabled_) {
       auto_period_ = period;
       return;
@@ -88,20 +90,20 @@ void ManualVersioningSystem::EnableAutoAdvance(Micros period) {
 }
 
 void ManualVersioningSystem::DisableAutoAdvance() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto_enabled_ = false;
 }
 
 void ManualVersioningSystem::ScheduleAutoTick() {
   Micros period;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (!auto_enabled_) return;
     period = auto_period_;
   }
   network_->ScheduleAfter(period, [this] {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       if (!auto_enabled_) return;
     }
     SwitchPeriod();

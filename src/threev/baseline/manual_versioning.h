@@ -2,9 +2,10 @@
 #define THREEV_BASELINE_MANUAL_VERSIONING_H_
 
 #include <memory>
-#include <mutex>
 #include <vector>
 
+#include "threev/common/mutex.h"
+#include "threev/common/thread_annotations.h"
 #include "threev/core/cluster.h"
 #include "threev/core/node.h"
 #include "threev/metrics/metrics.h"
@@ -50,13 +51,13 @@ class ManualVersioningSystem {
 
   // Switches every node to a new update period (unsynchronized broadcast)
   // and schedules the read-period advance safety_delay later.
-  void SwitchPeriod();
+  void SwitchPeriod() EXCLUDES(mu_);
 
-  void EnableAutoAdvance(Micros period);
-  void DisableAutoAdvance();
+  void EnableAutoAdvance(Micros period) EXCLUDES(mu_);
+  void DisableAutoAdvance() EXCLUDES(mu_);
 
  private:
-  void ScheduleAutoTick();
+  void ScheduleAutoTick() EXCLUDES(mu_);
 
   Network* network_;
   Micros safety_delay_;
@@ -64,11 +65,13 @@ class ManualVersioningSystem {
   std::unique_ptr<Client> client_;
   NodeId driver_id_;
 
-  std::mutex mu_;
-  Version period_ = 1;   // current accumulation period (= nodes' vu)
-  Version readable_ = 0; // latest readable period (= nodes' vr)
-  bool auto_enabled_ = false;
-  Micros auto_period_ = 0;
+  Mutex mu_;
+  // Current accumulation period (= nodes' vu).
+  Version period_ GUARDED_BY(mu_) = 1;
+  // Latest readable period (= nodes' vr).
+  Version readable_ GUARDED_BY(mu_) = 0;
+  bool auto_enabled_ GUARDED_BY(mu_) = false;
+  Micros auto_period_ GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace threev

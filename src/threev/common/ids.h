@@ -1,6 +1,7 @@
 #ifndef THREEV_COMMON_IDS_H_
 #define THREEV_COMMON_IDS_H_
 
+#include <cstddef>
 #include <cstdint>
 
 namespace threev {
@@ -14,6 +15,33 @@ using NodeId = uint32_t;
 // node-local invariant vr < vu <= vr + 2. Version 0 is the initial read
 // version; version 1 the initial update version.
 using Version = uint32_t;
+
+// Version-arithmetic helpers. Protocol code must use these instead of raw
+// `+ 1` / `+ 2` literals on version variables (enforced by
+// tools/threev_lint.py): the offsets encode protocol facts - the successor
+// relation of advancement, the NC3V gate, the three-version bound - and a
+// bare literal hides which fact a line depends on.
+
+// The version that the next advancement produces from `v`.
+constexpr Version NextVersion(Version v) { return v + 1; }
+
+// The version the previous advancement produced `v` from.
+constexpr Version PrevVersion(Version v) { return v - 1; }
+
+// The largest update version compatible with read version `vr`
+// (Section 4.4: vr < vu <= vr + 2, i.e. at most one advancement's phase 1
+// may complete before the previous advancement's phase 3).
+constexpr Version MaxUpdateVersionFor(Version vr) { return vr + 2; }
+
+// The paper's Theorem 4.1 bound on simultaneous version copies of an item.
+constexpr size_t kMaxSimultaneousVersions = 3;
+
+// NC3V version gate (Section 5 step 2): a non-commuting transaction with
+// version `v` may proceed only when no advancement is in flight for it,
+// i.e. v is exactly the successor of the current read version.
+constexpr bool VersionGateOpen(Version v, Version vr) {
+  return v == NextVersion(vr);
+}
 
 // Globally unique transaction identifier (assigned by the submitting
 // endpoint: high bits = endpoint id, low bits = local sequence number).

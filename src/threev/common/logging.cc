@@ -44,10 +44,14 @@ void Emit(LogLevel level, const char* file, int line, const std::string& msg) {
   char buf[1024];
   int n = std::snprintf(buf, sizeof(buf), "[%s %s:%d] %s\n", LevelName(level),
                         Basename(file), line, msg.c_str());
-  if (n > 0) {
-    std::fwrite(buf, 1, static_cast<size_t>(n) < sizeof(buf) ? n : sizeof(buf) - 1,
-                stderr);
+  if (n <= 0) return;
+  size_t len = static_cast<size_t>(n);
+  if (len >= sizeof(buf)) {
+    // Truncated: keep the line terminator so the next line stays separate.
+    len = sizeof(buf) - 1;
+    buf[len - 1] = '\n';
   }
+  std::fwrite(buf, 1, len, stderr);
 }
 
 FatalLine::FatalLine(const char* file, int line, const char* cond)

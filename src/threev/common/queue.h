@@ -1,11 +1,12 @@
 #ifndef THREEV_COMMON_QUEUE_H_
 #define THREEV_COMMON_QUEUE_H_
 
-#include <condition_variable>
 #include <deque>
-#include <mutex>
 #include <optional>
 #include <utility>
+
+#include "threev/common/mutex.h"
+#include "threev/common/thread_annotations.h"
 
 namespace threev {
 
@@ -20,9 +21,9 @@ class BlockingQueue {
   BlockingQueue& operator=(const BlockingQueue&) = delete;
 
   // Returns false if the queue is closed (item dropped).
-  bool Push(T item) {
+  bool Push(T item) EXCLUDES(mu_) {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       if (closed_) return false;
       items_.push_back(std::move(item));
     }
@@ -31,9 +32,9 @@ class BlockingQueue {
   }
 
   // Blocks until an item is available or the queue is closed and drained.
-  std::optional<T> Pop() {
-    std::unique_lock<std::mutex> lock(mu_);
-    cv_.wait(lock, [&] { return !items_.empty() || closed_; });
+  std::optional<T> Pop() EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    cv_.wait(lock, [&]() REQUIRES(mu_) { return !items_.empty() || closed_; });
     if (items_.empty()) return std::nullopt;
     T item = std::move(items_.front());
     items_.pop_front();
@@ -41,32 +42,32 @@ class BlockingQueue {
   }
 
   // Non-blocking variant.
-  std::optional<T> TryPop() {
-    std::lock_guard<std::mutex> lock(mu_);
+  std::optional<T> TryPop() EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     if (items_.empty()) return std::nullopt;
     T item = std::move(items_.front());
     items_.pop_front();
     return item;
   }
 
-  void Close() {
+  void Close() EXCLUDES(mu_) {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       closed_ = true;
     }
     cv_.notify_all();
   }
 
-  size_t size() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  size_t size() const EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     return items_.size();
   }
 
  private:
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<T> items_;
-  bool closed_ = false;
+  mutable Mutex mu_;
+  CondVar cv_;
+  std::deque<T> items_ GUARDED_BY(mu_);
+  bool closed_ GUARDED_BY(mu_) = false;
 };
 
 }  // namespace threev

@@ -2,8 +2,9 @@
 #define THREEV_COMMON_WAIT_GROUP_H_
 
 #include <chrono>
-#include <condition_variable>
-#include <mutex>
+
+#include "threev/common/mutex.h"
+#include "threev/common/thread_annotations.h"
 
 namespace threev {
 
@@ -12,35 +13,36 @@ namespace threev {
 // transaction completions.
 class WaitGroup {
  public:
-  void Add(int delta = 1) {
-    std::lock_guard<std::mutex> lock(mu_);
+  void Add(int delta = 1) EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     count_ += delta;
   }
 
-  void Done() {
+  void Done() EXCLUDES(mu_) {
     bool notify = false;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       if (--count_ <= 0) notify = true;
     }
     if (notify) cv_.notify_all();
   }
 
-  void Wait() {
-    std::unique_lock<std::mutex> lock(mu_);
-    cv_.wait(lock, [&] { return count_ <= 0; });
+  void Wait() EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    cv_.wait(lock, [&]() REQUIRES(mu_) { return count_ <= 0; });
   }
 
   // Returns false on timeout.
-  bool WaitFor(std::chrono::milliseconds timeout) {
-    std::unique_lock<std::mutex> lock(mu_);
-    return cv_.wait_for(lock, timeout, [&] { return count_ <= 0; });
+  bool WaitFor(std::chrono::milliseconds timeout) EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    return cv_.wait_for(lock, timeout,
+                        [&]() REQUIRES(mu_) { return count_ <= 0; });
   }
 
  private:
-  std::mutex mu_;
-  std::condition_variable cv_;
-  int count_ = 0;
+  Mutex mu_;
+  CondVar cv_;
+  int count_ GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace threev

@@ -1,6 +1,7 @@
 #include "threev/core/cluster.h"
 
 #include <string>
+#include <vector>
 
 #include "threev/common/logging.h"
 
@@ -11,7 +12,7 @@ void Client::HandleMessage(const Message& msg) {
   ResultCallback cb;
   Micros submit_time = 0;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     auto it = inflight_.find(msg.seq);
     if (it == inflight_.end()) return;
     cb = std::move(it->second.first);
@@ -32,7 +33,7 @@ uint64_t Client::Submit(NodeId origin, const TxnSpec& spec,
                         ResultCallback cb) {
   uint64_t seq;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     seq = next_seq_++;
     inflight_.emplace(seq, std::make_pair(std::move(cb), network_->Now()));
   }
@@ -48,7 +49,7 @@ uint64_t Client::Submit(NodeId origin, const TxnSpec& spec,
 }
 
 size_t Client::InFlight() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return inflight_.size();
 }
 
@@ -57,11 +58,15 @@ Cluster::Cluster(const ClusterOptions& options, Network* network,
     : options_(options),
       network_(network),
       metrics_(metrics),
-      history_(history) {
-  nodes_.resize(options.num_nodes);
-  for (size_t i = 0; i < options.num_nodes; ++i) {
-    InstallNode(i, std::make_unique<Node>(MakeNodeOptions(i), network,
-                                          metrics, history));
+      history_(history),
+      num_nodes_(options.num_nodes) {
+  {
+    MutexLock lock(mu_);
+    nodes_.resize(options.num_nodes);
+    for (size_t i = 0; i < options.num_nodes; ++i) {
+      InstallNode(i, std::make_unique<Node>(MakeNodeOptions(i), network,
+                                            metrics, history));
+    }
   }
 
   CoordinatorOptions coord_options;
@@ -107,7 +112,23 @@ void Cluster::InstallNode(size_t i, std::unique_ptr<Node> node) {
   network_->SetEndpointUp(raw->id(), true);
 }
 
+Node& Cluster::node(size_t i) {
+  MutexLock lock(mu_);
+  return *nodes_[i];
+}
+
+const Node& Cluster::node(size_t i) const {
+  MutexLock lock(mu_);
+  return *nodes_[i];
+}
+
+bool Cluster::node_alive(size_t i) const {
+  MutexLock lock(mu_);
+  return nodes_[i] != nullptr;
+}
+
 void Cluster::KillNode(size_t i) {
+  MutexLock lock(mu_);
   if (nodes_[i] == nullptr) return;
   nodes_[i]->Halt();
   network_->SetEndpointUp(static_cast<NodeId>(i), false);
@@ -118,8 +139,11 @@ void Cluster::KillNode(size_t i) {
 }
 
 void Cluster::RestartNode(size_t i) {
-  THREEV_CHECK(nodes_[i] == nullptr)
-      << "restart of node " << i << " which is still alive";
+  {
+    MutexLock lock(mu_);
+    THREEV_CHECK(nodes_[i] == nullptr)
+        << "restart of node " << i << " which is still alive";
+  }
   THREEV_CHECK(!options_.wal_dir.empty())
       << "restart without durability: node " << i << " has no state to recover";
   // The node is live from the moment its constructor runs: recovery
@@ -129,13 +153,29 @@ void Cluster::RestartNode(size_t i) {
   // as a crash casualty. Delivery still waits for the event loop, by which
   // time the new handler is registered.
   network_->SetEndpointUp(static_cast<NodeId>(i), true);
-  InstallNode(i, std::make_unique<Node>(MakeNodeOptions(i), network_,
-                                        metrics_, history_));
+  // Construct (and run crash recovery) outside the slot lock: recovery does
+  // file I/O and re-broadcasts decisions, neither of which should stall
+  // concurrent slot readers.
+  auto fresh = std::make_unique<Node>(MakeNodeOptions(i), network_,
+                                      metrics_, history_);
+  MutexLock lock(mu_);
+  InstallNode(i, std::move(fresh));
+}
+
+std::vector<Node*> Cluster::LiveNodes() const {
+  MutexLock lock(mu_);
+  std::vector<Node*> live;
+  for (const auto& node : nodes_) {
+    if (node != nullptr) live.push_back(node.get());
+  }
+  return live;
 }
 
 Status Cluster::CheckpointAll() {
-  for (auto& node : nodes_) {
-    if (node == nullptr) continue;
+  // Snapshot the live set, then checkpoint unlocked: parked incarnations
+  // outlive the cluster, so the pointers stay valid even if a node is
+  // killed mid-sweep (its checkpoint attempt just observes a halted node).
+  for (Node* node : LiveNodes()) {
     Status s = node->WriteCheckpoint();
     if (!s.ok()) return s;
   }
@@ -148,18 +188,23 @@ uint64_t Cluster::Submit(NodeId origin, const TxnSpec& spec,
 }
 
 Status Cluster::CheckInvariants() const {
-  for (size_t i = 0; i < nodes_.size(); ++i) {
-    if (nodes_[i] == nullptr) continue;  // killed: no state to check
-    Version vu = nodes_[i]->vu();
-    Version vr = nodes_[i]->vr();
-    if (!(vr < vu && vu <= vr + 2)) {
+  std::vector<Node*> alive(num_nodes_, nullptr);
+  {
+    MutexLock lock(mu_);
+    for (size_t i = 0; i < nodes_.size(); ++i) alive[i] = nodes_[i].get();
+  }
+  for (size_t i = 0; i < alive.size(); ++i) {
+    if (alive[i] == nullptr) continue;  // killed: no state to check
+    Version vu = alive[i]->vu();
+    Version vr = alive[i]->vr();
+    if (!(vr < vu && vu <= MaxUpdateVersionFor(vr))) {
       return Status::Internal("node " + std::to_string(i) +
                               " violates vr < vu <= vr+2: vr=" +
                               std::to_string(vr) + " vu=" +
                               std::to_string(vu));
     }
-    size_t max_versions = nodes_[i]->store().MaxVersionsObserved();
-    if (max_versions > 3) {
+    size_t max_versions = alive[i]->store().MaxVersionsObserved();
+    if (max_versions > kMaxSimultaneousVersions) {
       return Status::Internal("node " + std::to_string(i) + " held " +
                               std::to_string(max_versions) +
                               " simultaneous versions of an item");
@@ -168,12 +213,12 @@ Status Cluster::CheckInvariants() const {
   // Property 2(b): nodes differing in one version number agree on the
   // other. (Sampled pairwise; exact under SimNet where nothing moves
   // between the reads.)
-  for (size_t i = 0; i < nodes_.size(); ++i) {
-    if (nodes_[i] == nullptr) continue;
-    for (size_t j = i + 1; j < nodes_.size(); ++j) {
-      if (nodes_[j] == nullptr) continue;
-      Version vui = nodes_[i]->vu(), vuj = nodes_[j]->vu();
-      Version vri = nodes_[i]->vr(), vrj = nodes_[j]->vr();
+  for (size_t i = 0; i < alive.size(); ++i) {
+    if (alive[i] == nullptr) continue;
+    for (size_t j = i + 1; j < alive.size(); ++j) {
+      if (alive[j] == nullptr) continue;
+      Version vui = alive[i]->vu(), vuj = alive[j]->vu();
+      Version vri = alive[i]->vr(), vrj = alive[j]->vr();
       if (vui != vuj && vri != vrj) {
         return Status::Internal(
             "nodes " + std::to_string(i) + "," + std::to_string(j) +
@@ -186,9 +231,7 @@ Status Cluster::CheckInvariants() const {
 
 size_t Cluster::TotalPendingSubtxns() const {
   size_t n = 0;
-  for (const auto& node : nodes_) {
-    if (node != nullptr) n += node->PendingSubtxns();
-  }
+  for (Node* node : LiveNodes()) n += node->PendingSubtxns();
   return n;
 }
 

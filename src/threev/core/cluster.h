@@ -3,11 +3,12 @@
 
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
 
+#include "threev/common/mutex.h"
 #include "threev/common/status.h"
+#include "threev/common/thread_annotations.h"
 #include "threev/core/coordinator.h"
 #include "threev/core/node.h"
 #include "threev/metrics/metrics.h"
@@ -29,13 +30,14 @@ class Client {
   NodeId id() const { return id_; }
 
   // Network entry point; register with Network::RegisterEndpoint.
-  void HandleMessage(const Message& msg);
+  void HandleMessage(const Message& msg) EXCLUDES(mu_);
 
   // Sends `spec` to `origin` for execution; `cb` fires when the system
   // reports the transaction's outcome. Returns the request id. `origin`
   // must equal spec.root.node (the root subtransaction executes at the
   // node it is submitted to); the node rejects mismatches.
-  uint64_t Submit(NodeId origin, const TxnSpec& spec, ResultCallback cb);
+  uint64_t Submit(NodeId origin, const TxnSpec& spec, ResultCallback cb)
+      EXCLUDES(mu_);
 
   // Routes to spec.root.node.
   uint64_t Submit(const TxnSpec& spec, ResultCallback cb) {
@@ -43,14 +45,15 @@ class Client {
   }
 
   // Requests whose results have not arrived yet.
-  size_t InFlight() const;
+  size_t InFlight() const EXCLUDES(mu_);
 
  private:
   NodeId id_;
   Network* network_;
-  mutable std::mutex mu_;
-  uint64_t next_seq_ = 1;
-  std::unordered_map<uint64_t, std::pair<ResultCallback, Micros>> inflight_;
+  mutable Mutex mu_;
+  uint64_t next_seq_ GUARDED_BY(mu_) = 1;
+  std::unordered_map<uint64_t, std::pair<ResultCallback, Micros>> inflight_
+      GUARDED_BY(mu_);
 };
 
 struct ClusterOptions {
@@ -83,11 +86,14 @@ class Cluster {
   Cluster(const Cluster&) = delete;
   Cluster& operator=(const Cluster&) = delete;
 
-  size_t num_nodes() const { return nodes_.size(); }
-  Node& node(size_t i) { return *nodes_[i]; }
-  const Node& node(size_t i) const { return *nodes_[i]; }
+  size_t num_nodes() const { return num_nodes_; }
+  // The returned reference stays valid across KillNode (dead nodes are
+  // parked, not destroyed), but callers racing a kill should re-check
+  // node_alive.
+  Node& node(size_t i) EXCLUDES(mu_);
+  const Node& node(size_t i) const EXCLUDES(mu_);
   // False while node i is killed (its slot holds no live Node).
-  bool node_alive(size_t i) const { return nodes_[i] != nullptr; }
+  bool node_alive(size_t i) const EXCLUDES(mu_);
   AdvanceCoordinator& coordinator() { return *coordinator_; }
   Client& client() { return *client_; }
 
@@ -96,21 +102,19 @@ class Cluster {
   // in-flight messages to it are dropped. The dead Node object is parked
   // in a graveyard (not destroyed) so callbacks it captured stay valid.
   // No-op if already dead.
-  void KillNode(size_t i);
+  void KillNode(size_t i) EXCLUDES(mu_);
   // Constructs a fresh Node over the same wal_dir - running crash
   // recovery in its constructor - and re-registers the endpoint (a new
   // incarnation; pre-crash in-flight messages stay dead). Requires
   // wal_dir to have been set and node i to be dead.
-  void RestartNode(size_t i);
+  void RestartNode(size_t i) EXCLUDES(mu_);
 
   // Checkpoints every live node; returns the first error (nodes that are
   // not quiescent refuse, see Node::WriteCheckpoint).
-  Status CheckpointAll();
+  Status CheckpointAll() EXCLUDES(mu_);
 
-  NodeId coordinator_id() const {
-    return static_cast<NodeId>(nodes_.size());
-  }
-  NodeId client_id() const { return static_cast<NodeId>(nodes_.size()) + 1; }
+  NodeId coordinator_id() const { return static_cast<NodeId>(num_nodes_); }
+  NodeId client_id() const { return static_cast<NodeId>(num_nodes_) + 1; }
 
   // Convenience: submit via the default client.
   uint64_t Submit(NodeId origin, const TxnSpec& spec,
@@ -120,23 +124,29 @@ class Cluster {
   //   * vr < vu <= vr + 2 on every node;
   //   * at most 3 simultaneous versions of any item were ever observed;
   //   * property 2(b): two nodes differing in vu agree on vr & vice versa.
-  Status CheckInvariants() const;
+  Status CheckInvariants() const EXCLUDES(mu_);
 
   // Subtransactions whose subtrees are still incomplete, across all nodes.
-  size_t TotalPendingSubtxns() const;
+  size_t TotalPendingSubtxns() const EXCLUDES(mu_);
 
  private:
   NodeOptions MakeNodeOptions(size_t i) const;
-  void InstallNode(size_t i, std::unique_ptr<Node> node);
+  void InstallNode(size_t i, std::unique_ptr<Node> node) REQUIRES(mu_);
+  // Pointers to the currently-live nodes (parked incarnations excluded).
+  std::vector<Node*> LiveNodes() const EXCLUDES(mu_);
 
   ClusterOptions options_;
   Network* network_;          // unowned
   Metrics* metrics_;          // unowned
   HistoryRecorder* history_;  // unowned, may be null
-  std::vector<std::unique_ptr<Node>> nodes_;
+  const size_t num_nodes_;    // == options_.num_nodes; fixed at construction
+  // Guards the node slots: KillNode / RestartNode run on test-orchestration
+  // threads concurrently with accessors reading the slots.
+  mutable Mutex mu_;
+  std::vector<std::unique_ptr<Node>> nodes_ GUARDED_BY(mu_);
   // Killed incarnations, kept alive so timer callbacks capturing them
   // remain safe to invoke (they check halted() and return).
-  std::vector<std::unique_ptr<Node>> graveyard_;
+  std::vector<std::unique_ptr<Node>> graveyard_ GUARDED_BY(mu_);
   std::unique_ptr<AdvanceCoordinator> coordinator_;
   std::unique_ptr<Client> client_;
 };

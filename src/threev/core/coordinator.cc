@@ -15,22 +15,22 @@ AdvanceCoordinator::AdvanceCoordinator(const CoordinatorOptions& options,
       r_matrix_(options.num_nodes * options.num_nodes, 0) {}
 
 bool AdvanceCoordinator::running() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return phase_ != Phase::kIdle;
 }
 
 Version AdvanceCoordinator::vu() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return vu_view_;
 }
 
 Version AdvanceCoordinator::vr() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return vr_view_;
 }
 
 uint64_t AdvanceCoordinator::completed_count() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return completed_;
 }
 
@@ -44,12 +44,12 @@ bool AdvanceCoordinator::StartAdvancement(DoneCallback done) {
   Version vu_new;
   uint64_t epoch;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (phase_ != Phase::kIdle) return false;
     ++epoch_;
     epoch = epoch_;
     phase_ = Phase::kSwitchUpdate;
-    vu_new = vu_view_ + 1;
+    vu_new = NextVersion(vu_view_);
     done_ = std::move(done);
     start_time_ = network_->Now();
   }
@@ -62,7 +62,7 @@ void AdvanceCoordinator::BeginStage(MsgType type, Version version, bool flag,
   uint64_t token;
   std::vector<NodeId> targets;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     awaiting_.clear();
     for (NodeId n = 0; n < options_.num_nodes; ++n) awaiting_.insert(n);
     stage_type_ = type;
@@ -100,7 +100,7 @@ void AdvanceCoordinator::ArmRetransmit(uint64_t token) {
     bool flag = false;
     uint64_t seq = 0;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       if (token != stage_token_ || awaiting_.empty()) return;
       if (++stage_retries_ > options_.max_stage_retries) return;
       targets.assign(awaiting_.begin(), awaiting_.end());
@@ -122,20 +122,22 @@ void AdvanceCoordinator::HandleMessage(const Message& msg) {
   switch (msg.type) {
     case MsgType::kStartAdvancementAck: {
       bool proceed = false;
+      Version quiesce = 0;
       {
-        std::lock_guard<std::mutex> lock(mu_);
+        MutexLock lock(mu_);
         if (phase_ != Phase::kSwitchUpdate || msg.seq != epoch_) return;
         awaiting_.erase(msg.from);
         if (awaiting_.empty()) {
           // Every node now assigns vu_new to new roots; version vu_old can
           // only shrink. Move to phase 2.
-          vu_view_ += 1;
+          vu_view_ = NextVersion(vu_view_);
           phase_ = Phase::kPhaseOut;
-          check_version_ = vu_view_ - 1;
+          check_version_ = PrevVersion(vu_view_);
+          quiesce = check_version_;
           proceed = true;
         }
       }
-      if (proceed) BeginRound(vu_view_ - 1);
+      if (proceed) BeginRound(quiesce);
       break;
     }
     case MsgType::kCounterReadReply:
@@ -143,24 +145,26 @@ void AdvanceCoordinator::HandleMessage(const Message& msg) {
       break;
     case MsgType::kReadVersionAdvanceAck: {
       bool proceed = false;
+      Version quiesce = 0;
       {
-        std::lock_guard<std::mutex> lock(mu_);
+        MutexLock lock(mu_);
         if (phase_ != Phase::kSwitchRead || msg.seq != epoch_) return;
         awaiting_.erase(msg.from);
         if (awaiting_.empty()) {
-          vr_view_ += 1;
+          vr_view_ = NextVersion(vr_view_);
           phase_ = Phase::kDrainReads;
-          check_version_ = vr_view_ - 1;
+          check_version_ = PrevVersion(vr_view_);
+          quiesce = check_version_;
           proceed = true;
         }
       }
-      if (proceed) BeginRound(vr_view_ - 1);
+      if (proceed) BeginRound(quiesce);
       break;
     }
     case MsgType::kGarbageCollectAck: {
       bool finished = false;
       {
-        std::lock_guard<std::mutex> lock(mu_);
+        MutexLock lock(mu_);
         if (phase_ != Phase::kGarbageCollect || msg.seq != epoch_) return;
         awaiting_.erase(msg.from);
         if (awaiting_.empty()) finished = true;
@@ -175,7 +179,7 @@ void AdvanceCoordinator::HandleMessage(const Message& msg) {
 
 void AdvanceCoordinator::BeginRound(Version version) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     ++round_;
     std::fill(c_matrix_.begin(), c_matrix_.end(), 0);
     std::fill(r_matrix_.begin(), r_matrix_.end(), 0);
@@ -186,7 +190,7 @@ void AdvanceCoordinator::BeginRound(Version version) {
 void AdvanceCoordinator::SendWave(Version version, bool r_wave) {
   uint64_t seq;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     r_wave_ = r_wave;
     seq = WaveSeq(r_wave);
   }
@@ -198,7 +202,7 @@ void AdvanceCoordinator::OnCounterReply(const Message& msg) {
   bool was_r_wave = false;
   Version version = 0;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (phase_ != Phase::kPhaseOut && phase_ != Phase::kDrainReads) return;
     if (msg.seq != WaveSeq(r_wave_) || msg.flag != r_wave_) return;
     if (awaiting_.erase(msg.from) == 0) return;  // duplicate reply
@@ -234,7 +238,7 @@ void AdvanceCoordinator::EvaluateRound() {
   bool quiescent = true;
   Version version;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     size_t n = options_.num_nodes;
     for (size_t i = 0; i < n * n && quiescent; ++i) {
       if (r_matrix_[i] != c_matrix_[i]) quiescent = false;
@@ -258,13 +262,13 @@ void AdvanceCoordinator::AdvancePhase() {
   Version vr_new = 0;
   uint64_t epoch = 0;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     phase = phase_;
     epoch = epoch_;
     if (phase == Phase::kPhaseOut) {
       // Version vu_old is consistent across all nodes: expose it to reads.
       phase_ = Phase::kSwitchRead;
-      vr_new = vr_view_ + 1;
+      vr_new = NextVersion(vr_view_);
       read_switch_time_ = network_->Now();
     } else if (phase == Phase::kDrainReads) {
       // All queries on vr_old have terminated: garbage-collect.
@@ -284,7 +288,7 @@ void AdvanceCoordinator::FinishAdvancement() {
   Micros start, read_switch;
   Version vu_new;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     phase_ = Phase::kIdle;
     ++completed_;
     awaiting_.clear();
@@ -313,7 +317,7 @@ void AdvanceCoordinator::FinishAdvancement() {
 
 void AdvanceCoordinator::EnableAutoAdvance(Micros period) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (auto_enabled_) {
       auto_period_ = period;
       return;
@@ -325,20 +329,20 @@ void AdvanceCoordinator::EnableAutoAdvance(Micros period) {
 }
 
 void AdvanceCoordinator::DisableAutoAdvance() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto_enabled_ = false;
 }
 
 void AdvanceCoordinator::ScheduleAutoTick() {
   Micros period;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (!auto_enabled_) return;
     period = auto_period_;
   }
   network_->ScheduleAfter(period, [this] {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       if (!auto_enabled_) return;
     }
     StartAdvancement();  // no-op if one is already running

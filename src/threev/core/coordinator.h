@@ -3,13 +3,14 @@
 
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <set>
 #include <vector>
 
 #include "threev/common/clock.h"
 #include "threev/common/ids.h"
+#include "threev/common/mutex.h"
 #include "threev/common/status.h"
+#include "threev/common/thread_annotations.h"
 #include "threev/metrics/metrics.h"
 #include "threev/net/network.h"
 #include "threev/verify/history.h"
@@ -64,24 +65,24 @@ class AdvanceCoordinator {
   AdvanceCoordinator& operator=(const AdvanceCoordinator&) = delete;
 
   // Network entry point; register with Network::RegisterEndpoint.
-  void HandleMessage(const Message& msg);
+  void HandleMessage(const Message& msg) EXCLUDES(mu_);
 
   // Kicks off one advancement. Returns false (and does nothing) if one is
   // already in flight. `done` fires after phase 4 completes.
-  bool StartAdvancement(DoneCallback done = nullptr);
+  bool StartAdvancement(DoneCallback done = nullptr) EXCLUDES(mu_);
 
   // Repeatedly advances every `period` (skipping ticks that would overlap
   // a running advancement). Policy knob from the paper's "desired
   // solution": advance every hour / after N transactions / on demand.
-  void EnableAutoAdvance(Micros period);
-  void DisableAutoAdvance();
+  void EnableAutoAdvance(Micros period) EXCLUDES(mu_);
+  void DisableAutoAdvance() EXCLUDES(mu_);
 
-  bool running() const;
+  bool running() const EXCLUDES(mu_);
   // Coordinator's view of the versions (authoritative between
   // advancements, since only the coordinator changes them).
-  Version vu() const;
-  Version vr() const;
-  uint64_t completed_count() const;
+  Version vu() const EXCLUDES(mu_);
+  Version vr() const EXCLUDES(mu_);
+  uint64_t completed_count() const EXCLUDES(mu_);
 
  private:
   enum class Phase {
@@ -95,53 +96,57 @@ class AdvanceCoordinator {
 
   // Opens a stage awaiting one reply per node: records the retransmit
   // template, marks every node as awaited, sends to all, arms the timer.
-  void BeginStage(MsgType type, Version version, bool flag, uint64_t seq);
+  void BeginStage(MsgType type, Version version, bool flag, uint64_t seq)
+      EXCLUDES(mu_);
   void SendTo(const std::vector<NodeId>& targets, MsgType type,
               Version version, bool flag, uint64_t seq);
-  void ArmRetransmit(uint64_t token);
+  void ArmRetransmit(uint64_t token) EXCLUDES(mu_);
   // Starts a quiescence round for `version` (wave 1: completion counters).
-  void BeginRound(Version version);
-  void SendWave(Version version, bool r_wave);
-  void OnCounterReply(const Message& msg);
+  void BeginRound(Version version) EXCLUDES(mu_);
+  void SendWave(Version version, bool r_wave) EXCLUDES(mu_);
+  void OnCounterReply(const Message& msg) EXCLUDES(mu_);
   // All replies of the R wave arrived: compare matrices.
-  void EvaluateRound();
-  void AdvancePhase();  // transition after a phase's condition is met
-  void FinishAdvancement();
-  void ScheduleAutoTick();
-  uint64_t WaveSeq(bool r_wave) const;
+  void EvaluateRound() EXCLUDES(mu_);
+  // Transition after a phase's condition is met.
+  void AdvancePhase() EXCLUDES(mu_);
+  void FinishAdvancement() EXCLUDES(mu_);
+  void ScheduleAutoTick() EXCLUDES(mu_);
+  uint64_t WaveSeq(bool r_wave) const REQUIRES(mu_);
 
   CoordinatorOptions options_;
   Network* network_;
   Metrics* metrics_;
   HistoryRecorder* history_;
 
-  mutable std::mutex mu_;
-  Phase phase_ = Phase::kIdle;
-  uint64_t epoch_ = 0;  // one per advancement, tags all messages
-  Version vu_view_ = 1;
-  Version vr_view_ = 0;
-  Version check_version_ = 0;  // version being quiesced in phases 2/4
+  mutable Mutex mu_;
+  Phase phase_ GUARDED_BY(mu_) = Phase::kIdle;
+  // One per advancement, tags all messages.
+  uint64_t epoch_ GUARDED_BY(mu_) = 0;
+  Version vu_view_ GUARDED_BY(mu_) = 1;
+  Version vr_view_ GUARDED_BY(mu_) = 0;
+  // Version being quiesced in phases 2/4.
+  Version check_version_ GUARDED_BY(mu_) = 0;
   // Nodes whose reply for the current stage is still outstanding, plus the
   // template needed to re-send that stage to them. The token invalidates
   // retransmit timers armed for earlier stages.
-  std::set<NodeId> awaiting_;
-  MsgType stage_type_ = MsgType::kStartAdvancement;
-  Version stage_version_ = 0;
-  bool stage_flag_ = false;
-  uint64_t stage_seq_ = 0;
-  uint64_t stage_token_ = 0;
-  size_t stage_retries_ = 0;
-  uint64_t round_ = 0;
-  bool r_wave_ = false;
+  std::set<NodeId> awaiting_ GUARDED_BY(mu_);
+  MsgType stage_type_ GUARDED_BY(mu_) = MsgType::kStartAdvancement;
+  Version stage_version_ GUARDED_BY(mu_) = 0;
+  bool stage_flag_ GUARDED_BY(mu_) = false;
+  uint64_t stage_seq_ GUARDED_BY(mu_) = 0;
+  uint64_t stage_token_ GUARDED_BY(mu_) = 0;
+  size_t stage_retries_ GUARDED_BY(mu_) = 0;
+  uint64_t round_ GUARDED_BY(mu_) = 0;
+  bool r_wave_ GUARDED_BY(mu_) = false;
   // Collected matrices, num_nodes x num_nodes, [p][q].
-  std::vector<int64_t> c_matrix_;
-  std::vector<int64_t> r_matrix_;
-  DoneCallback done_;
-  Micros start_time_ = 0;
-  Micros read_switch_time_ = 0;
-  uint64_t completed_ = 0;
-  bool auto_enabled_ = false;
-  Micros auto_period_ = 0;
+  std::vector<int64_t> c_matrix_ GUARDED_BY(mu_);
+  std::vector<int64_t> r_matrix_ GUARDED_BY(mu_);
+  DoneCallback done_ GUARDED_BY(mu_);
+  Micros start_time_ GUARDED_BY(mu_) = 0;
+  Micros read_switch_time_ GUARDED_BY(mu_) = 0;
+  uint64_t completed_ GUARDED_BY(mu_) = 0;
+  bool auto_enabled_ GUARDED_BY(mu_) = false;
+  Micros auto_period_ GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace threev

@@ -3,11 +3,12 @@
 
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <utility>
 #include <vector>
 
 #include "threev/common/ids.h"
+#include "threev/common/mutex.h"
+#include "threev/common/thread_annotations.h"
 
 namespace threev {
 
@@ -33,28 +34,30 @@ class CounterTable {
   CounterTable& operator=(const CounterTable&) = delete;
 
   // R(v)[me][to] += 1.
-  void IncR(Version v, NodeId to);
+  void IncR(Version v, NodeId to) EXCLUDES(mu_);
   // C(v)[from][me] += 1.
-  void IncC(Version v, NodeId from);
+  void IncC(Version v, NodeId from) EXCLUDES(mu_);
 
-  int64_t R(Version v, NodeId to) const;
-  int64_t C(Version v, NodeId from) const;
+  int64_t R(Version v, NodeId to) const EXCLUDES(mu_);
+  int64_t C(Version v, NodeId from) const EXCLUDES(mu_);
 
   // Snapshots for kCounterReadReply: (peer, count) for every peer.
-  std::vector<std::pair<NodeId, int64_t>> SnapshotR(Version v) const;
-  std::vector<std::pair<NodeId, int64_t>> SnapshotC(Version v) const;
+  std::vector<std::pair<NodeId, int64_t>> SnapshotR(Version v) const
+      EXCLUDES(mu_);
+  std::vector<std::pair<NodeId, int64_t>> SnapshotC(Version v) const
+      EXCLUDES(mu_);
 
   // Garbage-collects counters of versions < v (phase 4).
-  void DropBelow(Version v);
+  void DropBelow(Version v) EXCLUDES(mu_);
 
   // Recovery: installs a checkpointed row wholesale (rows are truncated or
   // zero-padded to the table's node count). Subsequent WAL counter deltas
   // replay on top via IncR/IncC.
   void Restore(Version v, const std::vector<int64_t>& r,
-               const std::vector<int64_t>& c);
+               const std::vector<int64_t>& c) EXCLUDES(mu_);
 
   // Active version numbers with allocated counters (ascending).
-  std::vector<Version> ActiveVersions() const;
+  std::vector<Version> ActiveVersions() const EXCLUDES(mu_);
 
  private:
   struct Row {
@@ -62,12 +65,12 @@ class CounterTable {
     std::vector<int64_t> c;
   };
 
-  Row& RowFor(Version v);
-  const Row* FindRow(Version v) const;
+  Row& RowFor(Version v) REQUIRES(mu_);
+  const Row* FindRow(Version v) const REQUIRES(mu_);
 
   size_t num_nodes_;
-  mutable std::mutex mu_;
-  std::map<Version, Row> rows_;
+  mutable Mutex mu_;
+  std::map<Version, Row> rows_ GUARDED_BY(mu_);
 };
 
 }  // namespace threev

@@ -48,7 +48,7 @@ void Node::RecoverFromLog() {
 
   vu_ = recovered->vu;
   vr_ = recovered->vr;
-  if (vu_ > 1) frozen_time_[vu_ - 1] = 0;  // conservative staleness origin
+  if (vu_ > 1) frozen_time_[PrevVersion(vu_)] = 0;  // conservative staleness origin
   next_txn_seq_ = recovered->seq_floor;
   next_subtxn_seq_ = recovered->seq_floor;
   seq_reserved_until_ = recovered->seq_floor;
@@ -113,7 +113,7 @@ void Node::RecoverFromLog() {
 
 void Node::LogRecord(const WalRecord& rec, bool force) {
   if (wal_ == nullptr) return;
-  std::lock_guard<std::mutex> lock(wal_mu_);
+  MutexLock lock(wal_mu_);
   Status s = wal_->Append(rec, force);
   if (!s.ok()) {
     THREEV_LOG(kWarn) << "node " << options_.id
@@ -148,7 +148,7 @@ Status Node::WriteCheckpoint() {
   }
   CheckpointData ck;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (!pending_.empty() || !nc_txns_.empty() || !gate_waiters_.empty()) {
       return Status::FailedPrecondition(
           "node " + std::to_string(options_.id) +
@@ -163,7 +163,7 @@ Status Node::WriteCheckpoint() {
     // Rotate first: every record from here on lands in a segment the
     // checkpoint does not cover, so non-idempotent counter deltas are
     // replayed exactly once.
-    std::lock_guard<std::mutex> lock(wal_mu_);
+    MutexLock lock(wal_mu_);
     Status s = wal_->RotateSegment();
     if (!s.ok()) return s;
     ck.wal_segment = wal_->current_segment();
@@ -189,7 +189,7 @@ Status Node::WriteCheckpoint() {
     metrics_->checkpoint_bytes.fetch_add(static_cast<int64_t>(bytes),
                                          std::memory_order_relaxed);
   }
-  std::lock_guard<std::mutex> lock(wal_mu_);
+  MutexLock lock(wal_mu_);
   return wal_->TruncateBefore(ck.wal_segment);
 }
 
@@ -201,7 +201,7 @@ void Node::ArmTwopcRetry(TxnId txn) {
     bool prepare = false;
     bool commit = true;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       auto rit = nc_roots_.find(txn);
       if (rit == nc_roots_.end()) return;  // root resolved: watchdog dies
       auto pit = pending_.find(rit->second);
@@ -232,22 +232,22 @@ void Node::ArmTwopcRetry(TxnId txn) {
 }
 
 Version Node::vu() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return vu_;
 }
 
 Version Node::vr() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return vr_;
 }
 
 size_t Node::PendingSubtxns() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return pending_.size();
 }
 
 std::string Node::DebugString() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::string out = "node " + std::to_string(options_.id) +
                     ": vu=" + std::to_string(vu_) +
                     " vr=" + std::to_string(vr_) + "\n";
@@ -272,14 +272,14 @@ std::string Node::DebugString() const {
 }
 
 SubtxnId Node::NewSubtxnId() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   ReserveSeqsLocked();
   return MakeGlobalId(options_.id, next_subtxn_seq_++);
 }
 
 bool Node::InjectAbort() {
   if (options_.inject_abort_probability <= 0) return false;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return rng_.Bernoulli(options_.inject_abort_probability);
 }
 
@@ -350,7 +350,7 @@ void Node::OnClientSubmit(const Message& msg) {
   }
   auto ctx = std::make_shared<ExecContext>();
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     ReserveSeqsLocked();
     ctx->txn = MakeGlobalId(options_.id, next_txn_seq_++);
     ctx->subtxn = MakeGlobalId(options_.id, next_subtxn_seq_++);
@@ -390,7 +390,7 @@ void Node::OnSubtxnRequest(const Message& msg) {
 
 void Node::StartSubtxn(ExecPtr ctx) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (ctx->is_root) {
       // Section 4.1 step 1 / Section 4.2: a root subtransaction is assigned
       // the current update (or read) version and counts a local request.
@@ -452,8 +452,8 @@ void Node::StartSubtxn(ExecPtr ctx) {
   if (ctx->is_root) {
     bool pass;
     {
-      std::lock_guard<std::mutex> lock(mu_);
-      pass = ctx->version == vr_ + 1;
+      MutexLock lock(mu_);
+      pass = VersionGateOpen(ctx->version, vr_);
       if (!pass) {
         ExecPtr c = ctx;
         gate_waiters_.emplace_back(ctx->version,
@@ -494,7 +494,7 @@ void Node::ProceedNonCommuting(ExecPtr ctx) {
     // for the whole transaction in 2PC. Locks already held stay until the
     // decision (strict 2PL).
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       NcTxnState& st = nc_txns_[c->txn];
       st.failed = true;
       st.completions.emplace_back(c->version, c->source);
@@ -508,7 +508,7 @@ void Node::ArmLockTimeout(ExecPtr ctx) {
   network_->ScheduleAfter(options_.nc_lock_timeout, [this, c] {
     if (halted_.load(std::memory_order_acquire)) return;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       if (c->lock_done) return;
     }
     locks_.CancelWaits(c->txn);
@@ -522,13 +522,13 @@ void Node::ArmLockTimeout(ExecPtr ctx) {
 void Node::AcquireNextLock(ExecPtr ctx, std::function<void(bool)> done) {
   size_t i;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (ctx->lock_done) return;  // already failed (cancelled)
     i = ctx->next_lock;
   }
   if (i >= ctx->lock_needs.size()) {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       ctx->lock_done = true;
     }
     done(true);
@@ -550,14 +550,14 @@ void Node::AcquireNextLock(ExecPtr ctx, std::function<void(bool)> done) {
                    }
                    if (!granted) {
                      {
-                       std::lock_guard<std::mutex> lock(mu_);
+                       MutexLock lock(mu_);
                        c->lock_done = true;
                      }
                      done(false);
                      return;
                    }
                    {
-                     std::lock_guard<std::mutex> lock(mu_);
+                     MutexLock lock(mu_);
                      c->next_lock++;
                    }
                    AcquireNextLock(c, done);
@@ -735,7 +735,7 @@ void Node::ExecuteBodyNC(ExecPtr ctx) {
   }
 
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     NcTxnState& st = nc_txns_[ctx->txn];
     for (auto& u : undo_local) st.undo.push_back(std::move(u));
     st.completions.emplace_back(ctx->version, ctx->source);
@@ -792,7 +792,7 @@ void Node::FinishExecution(const ExecPtr& ctx, Status status,
     CompleteSubtxn(std::move(rec));
     return;
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   pending_.emplace(rec.subtxn, std::move(rec));
 }
 
@@ -804,7 +804,7 @@ void Node::OnCompletionNotice(const Message& msg) {
   bool done = false;
   PendingSubtxn completed;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     auto it = pending_.find(msg.parent_subtxn);
     if (it == pending_.end()) {
       THREEV_LOG(kWarn) << "node " << options_.id
@@ -896,7 +896,7 @@ void Node::ResolveRoot(PendingSubtxn rec) {
     LogRecord(wrec, /*force=*/true);
   }
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     nc_roots_[txn] = rec.subtxn;
     if (prepare) {
       rec.vote_waiting.insert(participants.begin(), participants.end());
@@ -929,7 +929,7 @@ void Node::FinishRoot(PendingSubtxn& rec, Status status) {
     Micros latency = now - rec.submit_time;
     if (rec.read_only) {
       metrics_->read_latency.Record(latency);
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       auto it = frozen_time_.find(rec.version);
       if (it != frozen_time_.end()) {
         metrics_->staleness.Record(now - it->second);
@@ -960,7 +960,7 @@ void Node::FinishRoot(PendingSubtxn& rec, Status status) {
 void Node::OnPrepare(const Message& msg) {
   bool vote = true;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     auto it = nc_txns_.find(msg.txn);
     if (it == nc_txns_.end()) {
       // No participant state: either this node crashed before the
@@ -995,7 +995,7 @@ void Node::OnVote(const Message& msg) {
   bool commit = true;
   std::vector<NodeId> participants;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     auto rit = nc_roots_.find(msg.txn);
     if (rit == nc_roots_.end()) return;
     auto pit = pending_.find(rit->second);
@@ -1034,7 +1034,7 @@ void Node::OnDecision(const Message& msg) {
   NcTxnState st;
   bool known = false;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     auto it = nc_txns_.find(msg.txn);
     if (it != nc_txns_.end()) {
       known = true;
@@ -1078,7 +1078,7 @@ void Node::OnDecisionAck(const Message& msg) {
   bool done = false;
   PendingSubtxn rec;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     auto rit = nc_roots_.find(msg.txn);
     if (rit == nc_roots_.end()) return;
     auto pit = pending_.find(rit->second);
@@ -1120,7 +1120,7 @@ void Node::AdvanceUpdateVersionLocked(Version v) {
 
 void Node::OnStartAdvancement(const Message& msg) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (msg.version > vu_) AdvanceUpdateVersionLocked(msg.version);
   }
   Message m;
@@ -1148,7 +1148,7 @@ void Node::OnCounterRead(const Message& msg) {
 
 void Node::OnReadVersionAdvance(const Message& msg) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (msg.version > vr_) {
       vr_ = msg.version;
       WalRecord rec;
@@ -1170,9 +1170,9 @@ void Node::OnReadVersionAdvance(const Message& msg) {
 void Node::WakeVersionGateWaiters() {
   std::vector<std::function<void()>> runnable;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     for (auto it = gate_waiters_.begin(); it != gate_waiters_.end();) {
-      if (it->first == vr_ + 1) {
+      if (VersionGateOpen(it->first, vr_)) {
         runnable.push_back(std::move(it->second));
         it = gate_waiters_.erase(it);
       } else {
@@ -1193,7 +1193,7 @@ void Node::OnGarbageCollect(const Message& msg) {
   store_.GarbageCollect(msg.version);
   counters_.DropBelow(msg.version);
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     frozen_time_.erase(frozen_time_.begin(),
                        frozen_time_.lower_bound(msg.version));
   }

@@ -6,13 +6,14 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <set>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "threev/common/clock.h"
+#include "threev/common/mutex.h"
+#include "threev/common/thread_annotations.h"
 #include "threev/common/ids.h"
 #include "threev/common/random.h"
 #include "threev/common/status.h"
@@ -114,7 +115,7 @@ class Node {
   Node& operator=(const Node&) = delete;
 
   // Network entry point; register with Network::RegisterEndpoint.
-  void HandleMessage(const Message& msg);
+  void HandleMessage(const Message& msg) EXCLUDES(mu_);
 
   // Crash simulation: a halted node ignores every subsequent message and
   // timer callback. Irreversible - "restarting" means constructing a fresh
@@ -127,24 +128,24 @@ class Node {
   // (kFailedPrecondition) while any subtransaction tree or non-commuting
   // transaction is open here: checkpoints are quiescent by construction, so
   // in-doubt 2PC state never needs to be serialized into them.
-  Status WriteCheckpoint();
+  Status WriteCheckpoint() EXCLUDES(mu_, wal_mu_);
 
   // --- introspection --------------------------------------------------
   NodeId id() const { return options_.id; }
-  Version vu() const;
-  Version vr() const;
+  Version vu() const EXCLUDES(mu_);
+  Version vr() const EXCLUDES(mu_);
   VersionedStore& store() { return store_; }
   const VersionedStore& store() const { return store_; }
   CounterTable& counters() { return counters_; }
   LockManager& locks() { return locks_; }
   // Subtransactions whose subtrees have not completed yet at this node.
-  size_t PendingSubtxns() const;
+  size_t PendingSubtxns() const EXCLUDES(mu_);
   // Null when durability is disabled.
   WriteAheadLog* wal() { return wal_.get(); }
 
   // Multi-line diagnostic snapshot: versions, pending subtransactions,
   // open non-commuting transactions, queued version-gate waiters.
-  std::string DebugString() const;
+  std::string DebugString() const EXCLUDES(mu_);
 
  private:
   static constexpr Version kUnassigned = 0xffffffff;
@@ -256,23 +257,26 @@ class Node {
   void FinishRoot(PendingSubtxn& rec, Status status);
 
   // --- durability ---
-  // Rebuilds state from checkpoint + WAL and re-enters in-doubt 2PC
-  // (ctor-time; no-ops without a wal_dir).
-  void RecoverFromLog();
+  // Rebuilds state from checkpoint + WAL and re-enters in-doubt 2PC.
+  // Runs from the constructor, before the node is published to any network
+  // thread, so it touches guarded members lock-free by construction - the
+  // one deliberate analysis opt-out in this class.
+  void RecoverFromLog() NO_THREAD_SAFETY_ANALYSIS;
   // Appends one redo record (no-op when durability is off).
-  void LogRecord(const WalRecord& rec, bool force = false);
+  void LogRecord(const WalRecord& rec, bool force = false)
+      EXCLUDES(wal_mu_);
   // Counter-delta record for IncR/IncC (the only non-idempotent records).
-  void LogCounter(Version v, bool is_r, NodeId peer);
+  void LogCounter(Version v, bool is_r, NodeId peer) EXCLUDES(wal_mu_);
   // Reserves a block of id sequence numbers ahead of use (kSeqReserve).
-  void ReserveSeqsLocked();
+  void ReserveSeqsLocked() REQUIRES(mu_);
   // Root-side 2PC retransmission watchdog; re-arms until the root resolves.
   void ArmTwopcRetry(TxnId txn);
 
   // --- helpers ---
-  void AdvanceUpdateVersionLocked(Version v);
-  void WakeVersionGateWaiters();
-  bool InjectAbort();
-  SubtxnId NewSubtxnId();
+  void AdvanceUpdateVersionLocked(Version v) REQUIRES(mu_);
+  void WakeVersionGateWaiters() EXCLUDES(mu_);
+  bool InjectAbort() EXCLUDES(mu_);
+  SubtxnId NewSubtxnId() EXCLUDES(mu_);
   static std::vector<std::pair<std::string, LockMode>> ComputeLockNeeds(
       const SubtxnPlan& plan, bool non_commuting);
 
@@ -286,26 +290,31 @@ class Node {
   LockManager locks_;
 
   // Guards WAL appends (lock order: mu_ may be held when taking wal_mu_,
-  // never the reverse). Null when durability is disabled.
-  std::mutex wal_mu_;
-  std::unique_ptr<WriteAheadLog> wal_;
+  // never the reverse). The wal_ pointer itself is set once during
+  // construction and never reassigned, so only the pointed-to log - whose
+  // appends wal_mu_ serializes - needs a capability.
+  Mutex wal_mu_;
+  std::unique_ptr<WriteAheadLog> wal_ PT_GUARDED_BY(wal_mu_);
   std::atomic<bool> halted_{false};
 
-  mutable std::mutex mu_;
-  Version vu_;
-  Version vr_;
+  mutable Mutex mu_;
+  Version vu_ GUARDED_BY(mu_);
+  Version vr_ GUARDED_BY(mu_);
   // When each version stopped being the update version (for staleness
   // accounting). Version 0 is frozen at time 0 by construction.
-  std::map<Version, Micros> frozen_time_;
-  uint64_t next_txn_seq_ = 1;
-  uint64_t next_subtxn_seq_ = 1;
-  uint64_t seq_reserved_until_ = 0;  // ids below this are WAL-reserved
-  Rng rng_;
-  std::map<SubtxnId, PendingSubtxn> pending_;
-  std::map<TxnId, SubtxnId> nc_roots_;  // routes kVote / kDecisionAck
-  std::unordered_map<TxnId, NcTxnState> nc_txns_;
+  std::map<Version, Micros> frozen_time_ GUARDED_BY(mu_);
+  uint64_t next_txn_seq_ GUARDED_BY(mu_) = 1;
+  uint64_t next_subtxn_seq_ GUARDED_BY(mu_) = 1;
+  // Ids below this are WAL-reserved.
+  uint64_t seq_reserved_until_ GUARDED_BY(mu_) = 0;
+  Rng rng_ GUARDED_BY(mu_);
+  std::map<SubtxnId, PendingSubtxn> pending_ GUARDED_BY(mu_);
+  // Routes kVote / kDecisionAck.
+  std::map<TxnId, SubtxnId> nc_roots_ GUARDED_BY(mu_);
+  std::unordered_map<TxnId, NcTxnState> nc_txns_ GUARDED_BY(mu_);
   // NC3V version gate: continuations waiting for vr == version - 1.
-  std::vector<std::pair<Version, std::function<void()>>> gate_waiters_;
+  std::vector<std::pair<Version, std::function<void()>>> gate_waiters_
+      GUARDED_BY(mu_);
 };
 
 }  // namespace threev

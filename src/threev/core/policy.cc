@@ -13,7 +13,7 @@ AdvancePolicyDriver::AdvancePolicyDriver(const AdvancePolicyOptions& options,
 
 void AdvancePolicyDriver::Start() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (running_) return;
     running_ = true;
     committed_baseline_ = metrics_->txns_committed.load();
@@ -23,19 +23,19 @@ void AdvancePolicyDriver::Start() {
 }
 
 void AdvancePolicyDriver::Stop() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   running_ = false;
 }
 
 uint64_t AdvancePolicyDriver::triggered_count() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return triggered_;
 }
 
 void AdvancePolicyDriver::ScheduleCheck() {
   network_->ScheduleAfter(options_.check_interval, [this] {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       if (!running_) return;
     }
     Check();
@@ -45,14 +45,14 @@ void AdvancePolicyDriver::ScheduleCheck() {
 
 bool AdvancePolicyDriver::StartIfAllowed() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (options_.min_period > 0 &&
         network_->Now() - last_advance_time_ < options_.min_period) {
       return false;
     }
   }
   if (!coordinator_->StartAdvancement()) return false;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   last_advance_time_ = network_->Now();
   committed_baseline_ = metrics_->txns_committed.load();
   ++triggered_;
@@ -64,7 +64,7 @@ void AdvancePolicyDriver::Check() {
   if (options_.txn_threshold > 0) {
     int64_t baseline;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       baseline = committed_baseline_;
     }
     if (metrics_->txns_committed.load() - baseline >=

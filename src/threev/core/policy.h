@@ -3,9 +3,10 @@
 
 #include <cstdint>
 #include <functional>
-#include <mutex>
 
 #include "threev/common/clock.h"
+#include "threev/common/mutex.h"
+#include "threev/common/thread_annotations.h"
 #include "threev/core/coordinator.h"
 #include "threev/metrics/metrics.h"
 #include "threev/net/network.h"
@@ -47,32 +48,32 @@ class AdvancePolicyDriver {
   AdvancePolicyDriver(const AdvancePolicyDriver&) = delete;
   AdvancePolicyDriver& operator=(const AdvancePolicyDriver&) = delete;
 
-  void Start();
-  void Stop();
+  void Start() EXCLUDES(mu_);
+  void Stop() EXCLUDES(mu_);
 
   // "After a particular update transaction commits": requests one
   // advancement now (subject to min_period and the one-at-a-time rule).
   // Returns true if an advancement was started.
-  bool RequestOnce();
+  bool RequestOnce() EXCLUDES(mu_);
 
   // Advancements this driver initiated.
-  uint64_t triggered_count() const;
+  uint64_t triggered_count() const EXCLUDES(mu_);
 
  private:
-  void ScheduleCheck();
-  void Check();
-  bool StartIfAllowed();
+  void ScheduleCheck() EXCLUDES(mu_);
+  void Check() EXCLUDES(mu_);
+  bool StartIfAllowed() EXCLUDES(mu_);
 
   AdvancePolicyOptions options_;
   AdvanceCoordinator* coordinator_;
   const Metrics* metrics_;
   Network* network_;
 
-  mutable std::mutex mu_;
-  bool running_ = false;
-  int64_t committed_baseline_ = 0;
-  Micros last_advance_time_ = 0;
-  uint64_t triggered_ = 0;
+  mutable Mutex mu_;
+  bool running_ GUARDED_BY(mu_) = false;
+  int64_t committed_baseline_ GUARDED_BY(mu_) = 0;
+  Micros last_advance_time_ GUARDED_BY(mu_) = 0;
+  uint64_t triggered_ GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace threev

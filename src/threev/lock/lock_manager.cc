@@ -58,7 +58,7 @@ void LockManager::Acquire(const std::string& key, LockMode mode,
                           uint64_t owner, GrantCallback cb) {
   bool granted = false;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     KeyState& ks = keys_[key];
 
     // Re-entrant / upgrade path.
@@ -121,7 +121,7 @@ void LockManager::PromoteWaitersLocked(const std::string& key, KeyState& ks,
 void LockManager::ReleaseAll(uint64_t owner) {
   std::vector<GrantCallback> ready;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     auto it = owner_keys_.find(owner);
     if (it == owner_keys_.end()) return;
     std::vector<std::string> held = std::move(it->second);
@@ -145,7 +145,7 @@ size_t LockManager::CancelWaits(uint64_t owner) {
   std::vector<GrantCallback> cancelled;
   std::vector<GrantCallback> ready;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     for (auto& [key, ks] : keys_) {
       bool removed = false;
       for (auto it = ks.waiters.begin(); it != ks.waiters.end();) {
@@ -169,21 +169,21 @@ size_t LockManager::CancelWaits(uint64_t owner) {
 }
 
 size_t LockManager::HeldCount() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   size_t n = 0;
   for (const auto& [key, ks] : keys_) n += ks.holders.size();
   return n;
 }
 
 size_t LockManager::WaiterCount() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   size_t n = 0;
   for (const auto& [key, ks] : keys_) n += ks.waiters.size();
   return n;
 }
 
 std::string LockManager::DebugString() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::string out;
   for (const auto& [key, ks] : keys_) {
     out += "  " + key + ": holders[";
@@ -201,7 +201,7 @@ std::string LockManager::DebugString() const {
 }
 
 bool LockManager::Holds(const std::string& key, uint64_t owner) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = keys_.find(key);
   if (it == keys_.end()) return false;
   for (const auto& h : it->second.holders) {

@@ -4,10 +4,12 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
+
+#include "threev/common/mutex.h"
+#include "threev/common/thread_annotations.h"
 
 namespace threev {
 
@@ -64,21 +66,21 @@ class LockManager {
   // otherwise). Fairness: a request that is compatible with the holders
   // but finds a non-empty wait queue goes to the back (no starvation).
   void Acquire(const std::string& key, LockMode mode, uint64_t owner,
-               GrantCallback cb);
+               GrantCallback cb) EXCLUDES(mu_);
 
   // Releases every lock held by `owner`, granting unblocked waiters.
-  void ReleaseAll(uint64_t owner);
+  void ReleaseAll(uint64_t owner) EXCLUDES(mu_);
 
   // Cancels all waiting (not yet granted) requests of `owner`, invoking
   // their callbacks with granted=false. Returns the number cancelled.
-  size_t CancelWaits(uint64_t owner);
+  size_t CancelWaits(uint64_t owner) EXCLUDES(mu_);
 
   // --- introspection (tests / diagnostics) ---
-  size_t HeldCount() const;
-  size_t WaiterCount() const;
-  bool Holds(const std::string& key, uint64_t owner) const;
+  size_t HeldCount() const EXCLUDES(mu_);
+  size_t WaiterCount() const EXCLUDES(mu_);
+  bool Holds(const std::string& key, uint64_t owner) const EXCLUDES(mu_);
   // One line per key with holders and queued waiters.
-  std::string DebugString() const;
+  std::string DebugString() const EXCLUDES(mu_);
 
  private:
   struct Holder {
@@ -100,15 +102,16 @@ class LockManager {
   // collecting their callbacks. Caller holds mu_ and invokes the callbacks
   // after unlocking.
   void PromoteWaitersLocked(const std::string& key, KeyState& ks,
-                            std::vector<GrantCallback>& ready);
+                            std::vector<GrantCallback>& ready) REQUIRES(mu_);
 
   static bool CompatibleWithHolders(const KeyState& ks, LockMode mode,
                                     uint64_t owner);
 
-  mutable std::mutex mu_;
-  std::unordered_map<std::string, KeyState> keys_;
+  mutable Mutex mu_;
+  std::unordered_map<std::string, KeyState> keys_ GUARDED_BY(mu_);
   // owner -> keys it holds (for ReleaseAll).
-  std::unordered_map<uint64_t, std::vector<std::string>> owner_keys_;
+  std::unordered_map<uint64_t, std::vector<std::string>> owner_keys_
+      GUARDED_BY(mu_);
 };
 
 }  // namespace threev

@@ -12,6 +12,17 @@ namespace threev {
 // sub-buckets each). Records int64 values in [0, 2^62); thread-safe via
 // relaxed atomics (exact totals, approximate per-bucket interleaving).
 //
+// Concurrency model (thread-safety-annotation pass): deliberately lock-free,
+// so there is no capability to GUARDED_BY - every member is a relaxed
+// atomic and every operation is a single-word RMW. The non-obvious
+// consequences, which the clang analysis cannot express for atomics:
+//   * Record() is wait-free and safe from any thread at any time.
+//   * Readers (count/sum/Percentile/Summary) may observe a value's count_
+//     before its bucket increment (or vice versa); totals are exact once
+//     writers quiesce, percentiles are approximate while they run.
+//   * Reset() and Merge() are NOT atomic snapshots: call them only while no
+//     Record() is in flight (benches do so between phases).
+//
 // Bucket resolution is ~6% relative error, plenty for latency percentiles.
 class Histogram {
  public:

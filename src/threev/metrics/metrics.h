@@ -11,7 +11,12 @@ namespace threev {
 
 // System-wide counters shared by all protocol engines. Every field is an
 // atomic so nodes on different threads can bump them without coordination;
-// benches snapshot and print them. The dual_version_writes / version copies
+// benches snapshot and print them. Like Histogram, this struct is lock-free
+// by design and therefore carries no mutex capability for the clang
+// thread-safety pass: each increment is individually atomic (the paper's
+// only concurrency assumption about its counters), cross-field consistency
+// is explicitly NOT promised while writers run, and Reset() requires
+// external quiescence. The dual_version_writes / version copies
 // counters back the paper's "at most three versions / copy once per
 // advancement" claims (experiments B-3COPIES, B-ABLATE-COW).
 struct Metrics {

@@ -28,6 +28,14 @@ struct SimNetOptions {
 
 // Deterministic discrete-event network. All endpoints run inside one
 // EventLoop; a whole multi-node cluster simulates on one OS thread.
+//
+// Concurrency model (thread-safety-annotation pass): single-threaded by
+// construction - Send/ScheduleAfter/Deliver all run from EventLoop
+// callbacks on the driving thread, so this class deliberately has no mutex
+// and no GUARDED_BY members. The node/coordinator locks it calls into are
+// uncontended here; tools/threev_lint.py's nondeterminism rule (no wall
+// clocks, no ambient randomness) is what protects this file's determinism
+// instead.
 class SimNet : public Network {
  public:
   explicit SimNet(SimNetOptions options = {}, Metrics* metrics = nullptr);

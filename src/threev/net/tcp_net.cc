@@ -64,19 +64,24 @@ void TcpNet::RegisterEndpoint(NodeId id, MessageHandler handler) {
 }
 
 Status TcpNet::Start() {
-  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (listen_fd_ < 0) return Status::IoError("socket() failed");
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Status::IoError("socket() failed");
   int one = 1;
-  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
   addr.sin_addr.s_addr = htonl(INADDR_ANY);
   addr.sin_port = htons(options_.listen_port);
-  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
     return Status::IoError("bind() failed on port " +
                            std::to_string(options_.listen_port));
   }
-  if (::listen(listen_fd_, 64) != 0) return Status::IoError("listen() failed");
+  if (::listen(fd, 64) != 0) {
+    ::close(fd);
+    return Status::IoError("listen() failed");
+  }
+  listen_fd_.store(fd, std::memory_order_release);
   accept_thread_ = std::thread([this] { AcceptLoop(); });
   dispatch_thread_ = std::thread([this] { DispatchLoop(); });
   timer_thread_ = std::thread([this] { TimerLoop(); });
@@ -86,17 +91,16 @@ Status TcpNet::Start() {
 void TcpNet::Stop() {
   if (stopping_.exchange(true)) return;
   {
-    std::lock_guard<std::mutex> lock(timer_mu_);
+    MutexLock lock(timer_mu_);
     timer_stop_ = true;
   }
   timer_cv_.notify_all();
-  if (listen_fd_ >= 0) {
-    ::shutdown(listen_fd_, SHUT_RDWR);
-    ::close(listen_fd_);
-    listen_fd_ = -1;
+  if (int fd = listen_fd_.exchange(-1, std::memory_order_acq_rel); fd >= 0) {
+    ::shutdown(fd, SHUT_RDWR);
+    ::close(fd);
   }
   {
-    std::lock_guard<std::mutex> lock(conn_mu_);
+    MutexLock lock(conn_mu_);
     for (auto& [id, fd] : connections_) {
       ::shutdown(fd, SHUT_RDWR);
       ::close(fd);
@@ -109,10 +113,10 @@ void TcpNet::Stop() {
   if (timer_thread_.joinable()) timer_thread_.join();
   {
     // Unblock readers parked in recv() on accepted connections.
-    std::lock_guard<std::mutex> lock(readers_mu_);
+    MutexLock lock(readers_mu_);
     for (int fd : accepted_fds_) ::shutdown(fd, SHUT_RDWR);
   }
-  std::lock_guard<std::mutex> lock(readers_mu_);
+  MutexLock lock(readers_mu_);
   for (auto& t : reader_threads_) {
     if (t.joinable()) t.join();
   }
@@ -120,11 +124,13 @@ void TcpNet::Stop() {
 
 void TcpNet::AcceptLoop() {
   while (!stopping_.load()) {
-    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    int lfd = listen_fd_.load(std::memory_order_acquire);
+    if (lfd < 0) break;
+    int fd = ::accept(lfd, nullptr, nullptr);
     if (fd < 0) break;
     int one = 1;
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-    std::lock_guard<std::mutex> lock(readers_mu_);
+    MutexLock lock(readers_mu_);
     accepted_fds_.push_back(fd);
     reader_threads_.emplace_back([this, fd] { ReaderLoop(fd); });
   }
@@ -164,7 +170,7 @@ void TcpNet::DispatchLoop() {
 
 int TcpNet::ConnectionTo(NodeId to) {
   {
-    std::lock_guard<std::mutex> lock(conn_mu_);
+    MutexLock lock(conn_mu_);
     auto it = connections_.find(to);
     if (it != connections_.end()) return it->second;
   }
@@ -180,7 +186,7 @@ int TcpNet::ConnectionTo(NodeId to) {
     if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0) {
       int one = 1;
       ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-      std::lock_guard<std::mutex> lock(conn_mu_);
+      MutexLock lock(conn_mu_);
       auto [it, inserted] = connections_.emplace(to, fd);
       if (!inserted) {
         ::close(fd);  // another thread raced us; use theirs
@@ -218,11 +224,11 @@ void TcpNet::Send(NodeId to, Message msg) {
   uint32_t len = static_cast<uint32_t>(payload.size());
   std::memcpy(header, &len, 4);
   std::memcpy(header + 4, &to, 4);
-  std::lock_guard<std::mutex> lock(write_mu_);
+  MutexLock lock(write_mu_);
   if (!WriteAll(fd, header, sizeof(header)) ||
       !WriteAll(fd, payload.data(), payload.size())) {
     THREEV_LOG(kWarn) << "write to endpoint " << to << " failed";
-    std::lock_guard<std::mutex> conn_lock(conn_mu_);
+    MutexLock conn_lock(conn_mu_);
     auto it = connections_.find(to);
     if (it != connections_.end() && it->second == fd) {
       ::close(fd);
@@ -233,7 +239,7 @@ void TcpNet::Send(NodeId to, Message msg) {
 
 void TcpNet::ScheduleAfter(Micros delay, std::function<void()> fn) {
   {
-    std::lock_guard<std::mutex> lock(timer_mu_);
+    MutexLock lock(timer_mu_);
     if (timer_stop_) return;
     timers_.emplace(Now() + delay, std::move(fn));
   }
@@ -241,7 +247,7 @@ void TcpNet::ScheduleAfter(Micros delay, std::function<void()> fn) {
 }
 
 void TcpNet::TimerLoop() {
-  std::unique_lock<std::mutex> lock(timer_mu_);
+  MutexLock lock(timer_mu_);
   while (!timer_stop_) {
     if (timers_.empty()) {
       timer_cv_.wait(lock);

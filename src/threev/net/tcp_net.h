@@ -2,16 +2,16 @@
 #define THREEV_NET_TCP_NET_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <unordered_map>
 #include <vector>
 
+#include "threev/common/mutex.h"
 #include "threev/common/queue.h"
+#include "threev/common/thread_annotations.h"
 #include "threev/metrics/metrics.h"
 #include "threev/net/network.h"
 
@@ -42,13 +42,14 @@ class TcpNet : public Network {
   TcpNet& operator=(const TcpNet&) = delete;
 
   void RegisterEndpoint(NodeId id, MessageHandler handler) override;
-  void Send(NodeId to, Message msg) override;
-  void ScheduleAfter(Micros delay, std::function<void()> fn) override;
+  void Send(NodeId to, Message msg) override EXCLUDES(write_mu_, conn_mu_);
+  void ScheduleAfter(Micros delay, std::function<void()> fn) override
+      EXCLUDES(timer_mu_);
   Micros Now() const override;
 
   // Binds the listen socket and starts accept/dispatch/timer threads.
   Status Start();
-  void Stop();
+  void Stop() EXCLUDES(timer_mu_, conn_mu_, readers_mu_);
 
  private:
   struct Inbound {
@@ -56,35 +57,40 @@ class TcpNet : public Network {
     Message msg;
   };
 
-  void AcceptLoop();
+  void AcceptLoop() EXCLUDES(readers_mu_);
   void ReaderLoop(int fd);
   void DispatchLoop();
-  void TimerLoop();
+  void TimerLoop() EXCLUDES(timer_mu_);
   // Returns a connected fd for `to` (cached), or -1.
-  int ConnectionTo(NodeId to);
+  int ConnectionTo(NodeId to) EXCLUDES(conn_mu_);
 
   TcpNetOptions options_;
   Metrics* metrics_;
   std::unordered_map<NodeId, MessageHandler> handlers_;
 
   std::atomic<bool> stopping_{false};
-  int listen_fd_ = -1;
+  // Atomic: Stop() closes-and-invalidates while AcceptLoop reads it for
+  // accept(); a plain int would race the two threads.
+  std::atomic<int> listen_fd_{-1};
   std::thread accept_thread_;
-  std::vector<std::thread> reader_threads_;
-  std::vector<int> accepted_fds_;  // shut down in Stop() to unblock readers
-  std::mutex readers_mu_;
+  Mutex readers_mu_;
+  std::vector<std::thread> reader_threads_ GUARDED_BY(readers_mu_);
+  // Shut down in Stop() to unblock readers.
+  std::vector<int> accepted_fds_ GUARDED_BY(readers_mu_);
 
   BlockingQueue<Inbound> inbound_;
   std::thread dispatch_thread_;
 
-  std::mutex conn_mu_;
-  std::unordered_map<NodeId, int> connections_;
-  std::mutex write_mu_;  // serializes frame writes across all sockets
+  Mutex conn_mu_;
+  std::unordered_map<NodeId, int> connections_ GUARDED_BY(conn_mu_);
+  // Serializes frame writes across all sockets (a capability with no data
+  // of its own: the protected resource is the byte stream).
+  Mutex write_mu_;
 
-  std::mutex timer_mu_;
-  std::condition_variable timer_cv_;
-  std::multimap<Micros, std::function<void()>> timers_;
-  bool timer_stop_ = false;
+  Mutex timer_mu_;
+  CondVar timer_cv_;
+  std::multimap<Micros, std::function<void()>> timers_ GUARDED_BY(timer_mu_);
+  bool timer_stop_ GUARDED_BY(timer_mu_) = false;
   std::thread timer_thread_;
 };
 

@@ -14,15 +14,15 @@ ThreadNet::~ThreadNet() { Stop(); }
 Micros ThreadNet::Now() const { return RealClock::Instance().Now(); }
 
 void ThreadNet::RegisterEndpoint(NodeId id, MessageHandler handler) {
-  THREEV_CHECK(!started_) << "register endpoints before Start()";
+  THREEV_CHECK(!started_.load(std::memory_order_acquire))
+      << "register endpoints before Start()";
   auto ep = std::make_unique<Endpoint>();
   ep->handler = std::move(handler);
   endpoints_[id] = std::move(ep);
 }
 
 void ThreadNet::Start() {
-  THREEV_CHECK(!started_);
-  started_ = true;
+  THREEV_CHECK(!started_.exchange(true, std::memory_order_acq_rel));
   for (auto& [id, ep] : endpoints_) {
     Endpoint* e = ep.get();
     e->worker = std::thread([e] {
@@ -35,10 +35,10 @@ void ThreadNet::Start() {
 }
 
 void ThreadNet::Stop() {
-  if (!started_ || stopped_) return;
-  stopped_ = true;
+  if (!started_.load(std::memory_order_acquire)) return;
+  if (stopped_.exchange(true, std::memory_order_acq_rel)) return;
   {
-    std::lock_guard<std::mutex> lock(timer_mu_);
+    MutexLock lock(timer_mu_);
     timer_stop_ = true;
   }
   timer_cv_.notify_all();
@@ -72,7 +72,7 @@ void ThreadNet::Send(NodeId to, Message msg) {
 
 void ThreadNet::ScheduleAfter(Micros delay, std::function<void()> fn) {
   {
-    std::lock_guard<std::mutex> lock(timer_mu_);
+    MutexLock lock(timer_mu_);
     if (timer_stop_) return;
     timers_.emplace(Now() + delay, std::move(fn));
   }
@@ -80,7 +80,7 @@ void ThreadNet::ScheduleAfter(Micros delay, std::function<void()> fn) {
 }
 
 void ThreadNet::TimerLoop() {
-  std::unique_lock<std::mutex> lock(timer_mu_);
+  MutexLock lock(timer_mu_);
   while (!timer_stop_) {
     if (timers_.empty()) {
       timer_cv_.wait(lock);

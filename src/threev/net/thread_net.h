@@ -1,17 +1,18 @@
 #ifndef THREEV_NET_THREAD_NET_H_
 #define THREEV_NET_THREAD_NET_H_
 
-#include <condition_variable>
+#include <atomic>
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <unordered_map>
 #include <vector>
 
 #include "threev/common/clock.h"
+#include "threev/common/mutex.h"
 #include "threev/common/queue.h"
+#include "threev/common/thread_annotations.h"
 #include "threev/metrics/metrics.h"
 #include "threev/net/network.h"
 
@@ -38,14 +39,16 @@ class ThreadNet : public Network {
 
   void RegisterEndpoint(NodeId id, MessageHandler handler) override;
   void Send(NodeId to, Message msg) override;
-  void ScheduleAfter(Micros delay, std::function<void()> fn) override;
+  void ScheduleAfter(Micros delay, std::function<void()> fn) override
+      EXCLUDES(timer_mu_);
   Micros Now() const override;
 
   // Starts worker threads. Call after all endpoints are registered.
   void Start();
 
-  // Drains mailboxes and joins all threads. Safe to call twice.
-  void Stop();
+  // Drains mailboxes and joins all threads. Safe to call twice (and from
+  // a different thread than Start's caller - the flags are atomic).
+  void Stop() EXCLUDES(timer_mu_);
 
  private:
   struct Endpoint {
@@ -54,19 +57,20 @@ class ThreadNet : public Network {
     std::thread worker;
   };
 
-  void TimerLoop();
+  void TimerLoop() EXCLUDES(timer_mu_);
 
   ThreadNetOptions options_;
   Metrics* metrics_;  // unowned, may be null
+  // Written only before Start(); read-only (and thus lock-free) afterwards.
   std::unordered_map<NodeId, std::unique_ptr<Endpoint>> endpoints_;
-  bool started_ = false;
-  bool stopped_ = false;
+  std::atomic<bool> started_{false};
+  std::atomic<bool> stopped_{false};
 
   // Timer state.
-  std::mutex timer_mu_;
-  std::condition_variable timer_cv_;
-  std::multimap<Micros, std::function<void()>> timers_;
-  bool timer_stop_ = false;
+  Mutex timer_mu_;
+  CondVar timer_cv_;
+  std::multimap<Micros, std::function<void()>> timers_ GUARDED_BY(timer_mu_);
+  bool timer_stop_ GUARDED_BY(timer_mu_) = false;
   std::thread timer_thread_;
 };
 

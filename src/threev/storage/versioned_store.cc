@@ -31,14 +31,14 @@ const VersionedStore::Shard& VersionedStore::ShardFor(
 }
 
 void VersionedStore::NoteVersionCount(size_t n) {
-  std::lock_guard<std::mutex> lock(stats_mu_);
+  MutexLock lock(stats_mu_);
   if (n > max_versions_observed_) max_versions_observed_ = n;
 }
 
 void VersionedStore::Seed(const std::string& key, Value value,
                           Version version) {
   Shard& shard = ShardFor(key);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(shard.mu);
   Record& rec = shard.records[key];
   int idx = rec.FindExact(version);
   if (idx >= 0) {
@@ -53,7 +53,7 @@ void VersionedStore::Seed(const std::string& key, Value value,
 Result<Value> VersionedStore::Read(const std::string& key,
                                    Version max_version) const {
   const Shard& shard = ShardFor(key);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(shard.mu);
   auto it = shard.records.find(key);
   if (it == shard.records.end()) return Status::NotFound(key);
   int idx = it->second.FindLE(max_version);
@@ -66,7 +66,7 @@ std::vector<std::pair<std::string, Value>> VersionedStore::ScanPrefix(
     const std::string& prefix, Version max_version) const {
   std::vector<std::pair<std::string, Value>> out;
   for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(shard.mu);
     for (const auto& [key, rec] : shard.records) {
       if (key.compare(0, prefix.size(), prefix) != 0) continue;
       int idx = rec.FindLE(max_version);
@@ -82,7 +82,7 @@ Result<int> VersionedStore::Update(
     const std::string& key, Version version, const Operation& op,
     std::vector<std::pair<Version, Value>>* after_images) {
   Shard& shard = ShardFor(key);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(shard.mu);
   Record& rec = shard.records[key];
 
   // Atomic check-and-create of key(version): copy the maximum existing
@@ -123,7 +123,7 @@ Status VersionedStore::UpdateExact(const std::string& key, Version version,
                                    const Operation& op, UndoEntry* undo,
                                    Value* after_image) {
   Shard& shard = ShardFor(key);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(shard.mu);
   Record& rec = shard.records[key];
 
   // NC3V step 4: abort if the item already exists in a newer version (a
@@ -161,7 +161,7 @@ Status VersionedStore::UpdateExact(const std::string& key, Version version,
 
 void VersionedStore::Undo(const UndoEntry& undo) {
   Shard& shard = ShardFor(undo.key);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(shard.mu);
   auto it = shard.records.find(undo.key);
   if (it == shard.records.end()) return;
   Record& rec = it->second;
@@ -177,7 +177,7 @@ void VersionedStore::Undo(const UndoEntry& undo) {
 
 void VersionedStore::GarbageCollect(Version vr_new) {
   for (auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(shard.mu);
     for (auto& [key, rec] : shard.records) {
       if (rec.FindExact(vr_new) >= 0) {
         // Drop every version older than vr_new.
@@ -201,7 +201,7 @@ void VersionedStore::GarbageCollect(Version vr_new) {
 
 std::vector<Version> VersionedStore::VersionsOf(const std::string& key) const {
   const Shard& shard = ShardFor(key);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(shard.mu);
   std::vector<Version> out;
   auto it = shard.records.find(key);
   if (it != shard.records.end()) {
@@ -213,7 +213,7 @@ std::vector<Version> VersionedStore::VersionsOf(const std::string& key) const {
 std::map<Version, Value> VersionedStore::DumpItem(
     const std::string& key) const {
   const Shard& shard = ShardFor(key);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(shard.mu);
   std::map<Version, Value> out;
   auto it = shard.records.find(key);
   if (it != shard.records.end()) {
@@ -226,7 +226,7 @@ std::vector<std::tuple<std::string, Version, Value>> VersionedStore::DumpAll()
     const {
   std::vector<std::tuple<std::string, Version, Value>> out;
   for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(shard.mu);
     for (const auto& [key, rec] : shard.records) {
       for (const auto& [v, value] : rec.versions) {
         out.emplace_back(key, v, value);
@@ -243,7 +243,7 @@ std::vector<std::tuple<std::string, Version, Value>> VersionedStore::DumpAll()
 std::vector<std::string> VersionedStore::Keys() const {
   std::vector<std::string> out;
   for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(shard.mu);
     for (const auto& [key, rec] : shard.records) out.push_back(key);
   }
   std::sort(out.begin(), out.end());
@@ -253,14 +253,14 @@ std::vector<std::string> VersionedStore::Keys() const {
 size_t VersionedStore::KeyCount() const {
   size_t n = 0;
   for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(shard.mu);
     n += shard.records.size();
   }
   return n;
 }
 
 size_t VersionedStore::MaxVersionsObserved() const {
-  std::lock_guard<std::mutex> lock(stats_mu_);
+  MutexLock lock(stats_mu_);
   return max_versions_observed_;
 }
 

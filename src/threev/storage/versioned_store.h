@@ -3,7 +3,6 @@
 
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <string>
 #include <tuple>
 #include <unordered_map>
@@ -11,6 +10,8 @@
 #include <vector>
 
 #include "threev/common/ids.h"
+#include "threev/common/mutex.h"
+#include "threev/common/thread_annotations.h"
 #include "threev/common/status.h"
 #include "threev/metrics/metrics.h"
 #include "threev/txn/operation.h"
@@ -109,7 +110,7 @@ class VersionedStore {
 
   // Maximum number of simultaneous versions of any single item ever
   // observed on this store (the paper's bound is 3).
-  size_t MaxVersionsObserved() const;
+  size_t MaxVersionsObserved() const EXCLUDES(stats_mu_);
 
  private:
   struct Record {
@@ -123,18 +124,18 @@ class VersionedStore {
 
   static constexpr size_t kNumShards = 16;
   struct Shard {
-    mutable std::mutex mu;
-    std::unordered_map<std::string, Record> records;
+    mutable Mutex mu;
+    std::unordered_map<std::string, Record> records GUARDED_BY(mu);
   };
 
   Shard& ShardFor(const std::string& key);
   const Shard& ShardFor(const std::string& key) const;
-  void NoteVersionCount(size_t n);
+  void NoteVersionCount(size_t n) EXCLUDES(stats_mu_);
 
   Metrics* metrics_;  // unowned, may be null
   Shard shards_[kNumShards];
-  mutable std::mutex stats_mu_;
-  size_t max_versions_observed_ = 0;
+  mutable Mutex stats_mu_;
+  size_t max_versions_observed_ GUARDED_BY(stats_mu_) = 0;
 };
 
 }  // namespace threev

@@ -4,7 +4,7 @@ namespace threev {
 
 void HistoryRecorder::RecordSubmit(TxnId id, const TxnSpec& spec,
                                    Micros now) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   TxnRecord& rec = txns_[id];
   rec.id = id;
   rec.submit_time = now;
@@ -16,7 +16,7 @@ void HistoryRecorder::RecordSubmit(TxnId id, const TxnSpec& spec,
 void HistoryRecorder::RecordComplete(
     TxnId id, bool committed, Version version,
     const std::map<std::string, Value>& reads, Micros now) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   TxnRecord& rec = txns_[id];
   rec.id = id;
   rec.complete_time = now;
@@ -27,13 +27,13 @@ void HistoryRecorder::RecordComplete(
 }
 
 void HistoryRecorder::RecordAdvancement(const AdvancementRecord& rec) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   advancements_.push_back(rec);
 }
 
 std::vector<HistoryRecorder::TxnRecord> HistoryRecorder::Transactions()
     const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<TxnRecord> out;
   out.reserve(txns_.size());
   for (const auto& [id, rec] : txns_) out.push_back(rec);
@@ -42,17 +42,17 @@ std::vector<HistoryRecorder::TxnRecord> HistoryRecorder::Transactions()
 
 std::vector<HistoryRecorder::AdvancementRecord>
 HistoryRecorder::Advancements() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return advancements_;
 }
 
 size_t HistoryRecorder::CompletedCount() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return completed_;
 }
 
 void HistoryRecorder::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   txns_.clear();
   advancements_.clear();
   completed_ = 0;

@@ -3,12 +3,13 @@
 
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "threev/common/clock.h"
 #include "threev/common/ids.h"
+#include "threev/common/mutex.h"
+#include "threev/common/thread_annotations.h"
 #include "threev/txn/plan.h"
 
 namespace threev {
@@ -37,23 +38,24 @@ class HistoryRecorder {
     Micros end_time = 0;
   };
 
-  void RecordSubmit(TxnId id, const TxnSpec& spec, Micros now);
+  void RecordSubmit(TxnId id, const TxnSpec& spec, Micros now) EXCLUDES(mu_);
   void RecordComplete(TxnId id, bool committed, Version version,
-                      const std::map<std::string, Value>& reads, Micros now);
-  void RecordAdvancement(const AdvancementRecord& rec);
+                      const std::map<std::string, Value>& reads, Micros now)
+      EXCLUDES(mu_);
+  void RecordAdvancement(const AdvancementRecord& rec) EXCLUDES(mu_);
 
   // Snapshot accessors (copy under lock; used after a run settles).
-  std::vector<TxnRecord> Transactions() const;
-  std::vector<AdvancementRecord> Advancements() const;
-  size_t CompletedCount() const;
+  std::vector<TxnRecord> Transactions() const EXCLUDES(mu_);
+  std::vector<AdvancementRecord> Advancements() const EXCLUDES(mu_);
+  size_t CompletedCount() const EXCLUDES(mu_);
 
-  void Clear();
+  void Clear() EXCLUDES(mu_);
 
  private:
-  mutable std::mutex mu_;
-  std::map<TxnId, TxnRecord> txns_;
-  std::vector<AdvancementRecord> advancements_;
-  size_t completed_ = 0;
+  mutable Mutex mu_;
+  std::map<TxnId, TxnRecord> txns_ GUARDED_BY(mu_);
+  std::vector<AdvancementRecord> advancements_ GUARDED_BY(mu_);
+  size_t completed_ GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace threev

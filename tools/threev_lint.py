@@ -1,0 +1,608 @@
+#!/usr/bin/env python3
+"""Protocol-invariant linter for the threev tree.
+
+Checks invariants that neither the compiler nor the clang thread-safety
+analysis can express, because they live above the type system:
+
+  wire-symmetry      Every MsgType enumerator has a name-table arm in
+                     message.cc, is constructed somewhere, and is handled
+                     somewhere. Every WalRecordType enumerator has a
+                     name-table arm in wal.cc, a replay arm in recovery.cc,
+                     and a producer. An enumerator failing this is a message
+                     or log record that silently vanishes on one side of the
+                     wire - historically the worst class of protocol bug.
+
+  lock-blocking      No direct blocking call (Send, fsync/fdatasync, sleeps,
+                     condition waits) while a MutexLock on a protocol-layer
+                     mutex is lexically in scope, in core/ storage/ lock/
+                     verify/ baseline/. This is DESIGN.md's "the node mutex
+                     is never held across a Send" rule, machine-checked.
+                     Lexical only: calls via helpers (e.g. LogRecord, whose
+                     wal_mu_-ordered fsync is load-bearing for quiescence
+                     soundness - see DESIGN.md section 5) are deliberately
+                     out of scope.
+
+  version-arith      Version variables never take raw +1/+2/-1/-2 literals;
+                     protocol code must use the ids.h helpers (NextVersion,
+                     PrevVersion, MaxUpdateVersionFor, VersionGateOpen) so
+                     each offset names the protocol fact it encodes.
+
+  determinism        Simulation-driven code (core/ sim/ storage/ txn/ lock/
+                     verify/ workload/ baseline/) takes time only from
+                     Network::Now() and randomness only from seeded Rng:
+                     ambient clocks and entropy there break SimNet replay.
+
+  capability         threev::Mutex (common/mutex.h) is the only lock type
+                     in src/threev: raw std::mutex cannot carry a clang
+                     capability, so using it anywhere else punches a hole in
+                     the -Wthread-safety tier.
+
+Usage:
+  tools/threev_lint.py [--root REPO_ROOT]   lint the tree (exit 1 on findings)
+  tools/threev_lint.py --self-test          run the seeded-violation tests
+"""
+
+import argparse
+import os
+import re
+import sys
+
+SRC_SUBDIR = os.path.join("src", "threev")
+
+# ---------------------------------------------------------------------------
+# Source model
+# ---------------------------------------------------------------------------
+
+
+def strip_comments_and_strings(text):
+    """Replaces comment and string-literal contents with spaces, preserving
+    offsets and newlines so line numbers survive."""
+    out = []
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if c == "/" and nxt == "/":
+            j = text.find("\n", i)
+            j = n if j == -1 else j
+            out.append(" " * (j - i))
+            i = j
+        elif c == "/" and nxt == "*":
+            j = text.find("*/", i + 2)
+            j = n - 2 if j == -1 else j
+            seg = text[i : j + 2]
+            out.append(re.sub(r"[^\n]", " ", seg))
+            i = j + 2
+        elif c == '"' or c == "'":
+            quote = c
+            j = i + 1
+            while j < n and text[j] != quote:
+                j += 2 if text[j] == "\\" else 1
+            seg = text[i : j + 1]
+            out.append(quote + " " * max(0, len(seg) - 2) + quote)
+            i = j + 1
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+class SourceFile:
+    def __init__(self, path, text):
+        self.path = path
+        self.text = text
+        self.code = strip_comments_and_strings(text)
+
+    def line_of(self, offset):
+        return self.text.count("\n", 0, offset) + 1
+
+
+def load_tree(root):
+    files = []
+    src_root = os.path.join(root, SRC_SUBDIR)
+    for dirpath, _, names in os.walk(src_root):
+        for name in sorted(names):
+            if not name.endswith((".h", ".cc")):
+                continue
+            path = os.path.join(dirpath, name)
+            with open(path, encoding="utf-8") as f:
+                files.append(SourceFile(os.path.relpath(path, root), f.read()))
+    return files
+
+
+class Finding:
+    def __init__(self, rule, path, line, message):
+        self.rule = rule
+        self.path = path
+        self.line = line
+        self.message = message
+
+    def __str__(self):
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+def by_path(files):
+    return {f.path.replace(os.sep, "/"): f for f in files}
+
+
+# ---------------------------------------------------------------------------
+# Rule: wire symmetry
+# ---------------------------------------------------------------------------
+
+
+def parse_enum(code, enum_name):
+    m = re.search(r"enum\s+class\s+" + enum_name + r"\b[^{]*\{(.*?)\};", code,
+                  re.S)
+    if m is None:
+        return []
+    names = re.findall(r"\b(k[A-Za-z0-9]+)\s*(?:=\s*\d+)?\s*,?", m.group(1))
+    return names
+
+
+def check_wire_symmetry(files):
+    findings = []
+    paths = by_path(files)
+
+    def tree_code(exclude):
+        return [
+            f for f in files
+            if f.path.replace(os.sep, "/") not in exclude and f.path.endswith(".cc")
+        ]
+
+    specs = [
+        {
+            "enum": "MsgType",
+            "decl": "src/threev/net/message.h",
+            "name_table": "src/threev/net/message.cc",
+            "replay": None,
+            # wire.cc is the generic field codec; message.cc the name table.
+            "dispatch_exclude": {"src/threev/net/message.cc",
+                                 "src/threev/net/wire.cc"},
+        },
+        {
+            "enum": "WalRecordType",
+            "decl": "src/threev/durability/wal.h",
+            "name_table": "src/threev/durability/wal.cc",
+            "replay": "src/threev/durability/recovery.cc",
+            "dispatch_exclude": {"src/threev/durability/wal.cc",
+                                 "src/threev/durability/recovery.cc"},
+        },
+    ]
+
+    for spec in specs:
+        decl = paths.get(spec["decl"])
+        if decl is None:
+            findings.append(Finding("wire-symmetry", spec["decl"], 1,
+                                    "enum declaration file missing"))
+            continue
+        enumerators = parse_enum(decl.code, spec["enum"])
+        if not enumerators:
+            findings.append(Finding("wire-symmetry", spec["decl"], 1,
+                                    f"could not parse enum {spec['enum']}"))
+            continue
+        name_table = paths.get(spec["name_table"])
+        replay = paths.get(spec["replay"]) if spec["replay"] else None
+        producers = tree_code(spec["dispatch_exclude"])
+        for e in enumerators:
+            qualified = f"{spec['enum']}::{e}"
+            if name_table is None or \
+                    f"case {qualified}" not in name_table.code:
+                findings.append(Finding(
+                    "wire-symmetry", spec["name_table"], 1,
+                    f"{qualified} has no name-table arm (add a case to "
+                    f"{spec['enum']}Name)"))
+            if replay is not None and f"case {qualified}" not in replay.code:
+                findings.append(Finding(
+                    "wire-symmetry", spec["replay"], 1,
+                    f"{qualified} has no replay arm: a logged record of this "
+                    "type would be skipped during recovery"))
+            # Producer: an assignment whose right-hand side mentions the
+            # enumerator (covers `m.type = prepare ? kPrepare : kDecision`).
+            produced = any(
+                re.search(r"\.\s*type\s*=(?!=)[^;]*" + re.escape(qualified),
+                          f.code)
+                for f in producers)
+            if not produced:
+                findings.append(Finding(
+                    "wire-symmetry", spec["decl"], 1,
+                    f"{qualified} is never produced (no `.type = {qualified}` "
+                    "outside its codec): dead enumerator or missing sender"))
+            # Consumer: for WAL records the replay switch checked above IS
+            # the consumer; for messages, require a dispatch arm or
+            # comparison outside the codec.
+            handled = any(
+                re.search(r"(case\s+|[=!]=\s*)" + re.escape(qualified),
+                          f.code)
+                for f in producers)
+            if spec["replay"] is None and not handled:
+                findings.append(Finding(
+                    "wire-symmetry", spec["decl"], 1,
+                    f"{qualified} is never dispatched (no case/comparison "
+                    "outside its codec): receivers would drop it"))
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# Rule: no blocking call under a protocol-layer lock
+# ---------------------------------------------------------------------------
+
+PROTOCOL_DIRS = ("core/", "storage/", "lock/", "verify/", "baseline/")
+
+BLOCKING_PATTERNS = [
+    (re.compile(r"[.>]\s*Send\s*\("), "network Send"),
+    (re.compile(r"\bf(?:data)?sync\s*\("), "fsync"),
+    (re.compile(r"\bsleep_for\s*\(|\bsleep_until\s*\(|\busleep\s*\("),
+     "sleep"),
+    (re.compile(r"\bcv_?\w*\s*\.\s*wait(?:_for|_until)?\s*\("),
+     "condition wait"),
+]
+
+GUARD_RE = re.compile(
+    r"\b(?:MutexLock|std::lock_guard\s*<[^>]*>|std::unique_lock\s*<[^>]*>|"
+    r"std::scoped_lock(?:\s*<[^>]*>)?)\s+\w+\s*[({]")
+
+
+def in_protocol_dir(path):
+    rel = path.replace(os.sep, "/")
+    return any(("/" + d) in ("/" + rel) for d in
+               (f"threev/{d}" for d in PROTOCOL_DIRS))
+
+
+def check_lock_blocking(files):
+    findings = []
+    for f in files:
+        if not in_protocol_dir(f.path):
+            continue
+        code = f.code
+        guard_starts = [m.start() for m in GUARD_RE.finditer(code)]
+        # For each guard, its scope is the enclosing brace block: scan
+        # forward until depth drops below the depth at declaration.
+        guard_spans = []
+        for start in guard_starts:
+            depth = 0
+            end = len(code)
+            i = start
+            while i < len(code):
+                c = code[i]
+                if c == "{":
+                    depth += 1
+                elif c == "}":
+                    depth -= 1
+                    if depth < 0:
+                        end = i
+                        break
+                i += 1
+            guard_spans.append((start, end))
+        for pattern, label in BLOCKING_PATTERNS:
+            for m in pattern.finditer(code):
+                for start, end in guard_spans:
+                    if start < m.start() < end:
+                        findings.append(Finding(
+                            "lock-blocking", f.path, f.line_of(m.start()),
+                            f"{label} while a lock guard is in scope; "
+                            "release the lock (scope block) before blocking"))
+                        break
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# Rule: version arithmetic hygiene
+# ---------------------------------------------------------------------------
+
+VERSION_ARITH_RE = re.compile(
+    r"\b(?:\w+(?:\.|->))*"
+    r"((?:new_|old_|check_)?(?:vu|vr|version|period|readable)\w*)"
+    r"\s*(\+|-|\+=|-=)\s*([12])\b")
+
+VERSION_ARITH_EXCLUDE = {"src/threev/common/ids.h"}
+
+
+def check_version_arith(files):
+    findings = []
+    for f in files:
+        rel = f.path.replace(os.sep, "/")
+        if rel in VERSION_ARITH_EXCLUDE:
+            continue
+        for m in VERSION_ARITH_RE.finditer(f.code):
+            var, op, lit = m.groups()
+            helper = {
+                ("+", "1"): "NextVersion",
+                ("+=", "1"): "NextVersion",
+                ("-", "1"): "PrevVersion",
+                ("-=", "1"): "PrevVersion",
+                ("+", "2"): "MaxUpdateVersionFor",
+            }.get((op, lit), "the ids.h version helpers")
+            findings.append(Finding(
+                "version-arith", f.path, f.line_of(m.start()),
+                f"raw `{var} {op} {lit}` on a version variable; use "
+                f"{helper} (ids.h) so the offset names its protocol fact"))
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# Rule: determinism in sim-driven code
+# ---------------------------------------------------------------------------
+
+DETERMINISTIC_DIRS = ("core/", "sim/", "storage/", "txn/", "lock/",
+                      "verify/", "workload/", "baseline/")
+
+NONDET_PATTERNS = [
+    (re.compile(r"\bstd::random_device\b"), "std::random_device"),
+    (re.compile(r"\b(?:std::)?s?rand\s*\("), "rand()/srand()"),
+    (re.compile(r"\bstd::chrono::(?:system|steady|high_resolution)_clock\b"),
+     "ambient chrono clock"),
+    (re.compile(r"\bgettimeofday\s*\(|\bclock_gettime\s*\(|\btime\s*\(\s*(?:NULL|nullptr|0)\s*\)"),
+     "wall-clock syscall"),
+    (re.compile(r"\bsleep_for\s*\(|\bsleep_until\s*\(|\busleep\s*\("),
+     "real sleep"),
+]
+
+
+def in_deterministic_dir(path):
+    rel = path.replace(os.sep, "/")
+    return any(("/" + d) in ("/" + rel) for d in
+               (f"threev/{d}" for d in DETERMINISTIC_DIRS))
+
+
+def check_determinism(files):
+    findings = []
+    for f in files:
+        if not in_deterministic_dir(f.path):
+            continue
+        for pattern, label in NONDET_PATTERNS:
+            for m in pattern.finditer(f.code):
+                findings.append(Finding(
+                    "determinism", f.path, f.line_of(m.start()),
+                    f"{label} in simulation-driven code; take time from "
+                    "Network::Now() and randomness from a seeded Rng"))
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# Rule: capability discipline (threev::Mutex only)
+# ---------------------------------------------------------------------------
+
+RAW_MUTEX_RE = re.compile(
+    r"\bstd::(mutex|timed_mutex|recursive_mutex|shared_mutex|lock_guard|"
+    r"unique_lock|scoped_lock|condition_variable)\b(?!_any)")
+
+CAPABILITY_EXCLUDE = {"src/threev/common/mutex.h"}
+
+
+def check_capability(files):
+    findings = []
+    for f in files:
+        rel = f.path.replace(os.sep, "/")
+        if rel in CAPABILITY_EXCLUDE:
+            continue
+        for m in RAW_MUTEX_RE.finditer(f.code):
+            findings.append(Finding(
+                "capability", f.path, f.line_of(m.start()),
+                f"raw std::{m.group(1)}; use threev::Mutex / MutexLock / "
+                "CondVar (common/mutex.h) so the clang thread-safety tier "
+                "can see the lock"))
+    return findings
+
+
+RULES = [
+    check_wire_symmetry,
+    check_lock_blocking,
+    check_version_arith,
+    check_determinism,
+    check_capability,
+]
+
+
+def lint(root):
+    files = load_tree(root)
+    if not files:
+        print(f"threev_lint: no sources under {os.path.join(root, SRC_SUBDIR)}",
+              file=sys.stderr)
+        return 2
+    findings = []
+    for rule in RULES:
+        findings.extend(rule(files))
+    for finding in sorted(findings, key=lambda x: (x.path, x.line)):
+        print(finding)
+    if findings:
+        print(f"threev_lint: {len(findings)} finding(s)", file=sys.stderr)
+        return 1
+    print(f"threev_lint: OK ({len(files)} files)")
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# Self-test: each rule must fire on a seeded violation and stay quiet on the
+# equivalent clean snippet.
+# ---------------------------------------------------------------------------
+
+
+def _mkfile(path, text):
+    return SourceFile(path, text)
+
+
+def self_test():
+    failures = []
+
+    def expect(name, findings, rule, want):
+        fired = any(f.rule == rule for f in findings)
+        if fired != want:
+            failures.append(
+                f"{name}: expected rule '{rule}' fired={want}, got {fired}"
+                + ("".join("\n    " + str(f) for f in findings) or " (none)"))
+
+    # --- wire symmetry ----------------------------------------------------
+    decl = _mkfile("src/threev/net/message.h",
+                   "enum class MsgType : uint8_t {\n  kPing = 0,\n  kPong,\n};\n")
+    name_table = _mkfile(
+        "src/threev/net/message.cc",
+        "case MsgType::kPing: return \"Ping\";\n"
+        "case MsgType::kPong: return \"Pong\";\n")
+    user = _mkfile(
+        "src/threev/core/node.cc",
+        "m.type = MsgType::kPing;\n"
+        "case MsgType::kPing: break;\n"
+        "m.type = MsgType::kPong;\n"
+        "if (msg.type == MsgType::kPong) {}\n")
+    wal_decl = _mkfile("src/threev/durability/wal.h",
+                       "enum class WalRecordType : uint8_t { kUpdate = 1, };\n")
+    wal_cc = _mkfile("src/threev/durability/wal.cc",
+                     "case WalRecordType::kUpdate: return \"Update\";\n")
+    recovery = _mkfile("src/threev/durability/recovery.cc",
+                       "case WalRecordType::kUpdate: break;\n")
+    wal_user = _mkfile("src/threev/core/node2.cc",
+                       "rec.type = WalRecordType::kUpdate;\n"
+                       "if (r.type == WalRecordType::kUpdate) {}\n")
+    clean = [decl, name_table, user, wal_decl, wal_cc, recovery, wal_user]
+    expect("wire clean", check_wire_symmetry(clean), "wire-symmetry", False)
+
+    # Seed: kPong loses its name-table arm and its dispatch arm.
+    broken_table = _mkfile("src/threev/net/message.cc",
+                           "case MsgType::kPing: return \"Ping\";\n")
+    expect("wire missing name arm",
+           check_wire_symmetry([decl, broken_table, user, wal_decl, wal_cc,
+                                recovery, wal_user]),
+           "wire-symmetry", True)
+    silent_user = _mkfile("src/threev/core/node.cc",
+                          "m.type = MsgType::kPing;\n"
+                          "case MsgType::kPing: break;\n"
+                          "m.type = MsgType::kPong;\n")
+    expect("wire undispatched enumerator",
+           check_wire_symmetry([decl, name_table, silent_user, wal_decl,
+                                wal_cc, recovery, wal_user]),
+           "wire-symmetry", True)
+    # Seed: a WAL record type with no replay arm.
+    wal_decl2 = _mkfile(
+        "src/threev/durability/wal.h",
+        "enum class WalRecordType : uint8_t { kUpdate = 1, kCounter = 3, };\n")
+    wal_cc2 = _mkfile("src/threev/durability/wal.cc",
+                      "case WalRecordType::kUpdate: return \"Update\";\n"
+                      "case WalRecordType::kCounter: return \"Counter\";\n")
+    wal_user2 = _mkfile("src/threev/core/node2.cc",
+                        "rec.type = WalRecordType::kUpdate;\n"
+                        "if (r.type == WalRecordType::kUpdate) {}\n"
+                        "rec.type = WalRecordType::kCounter;\n"
+                        "if (r.type == WalRecordType::kCounter) {}\n")
+    expect("wal missing replay arm",
+           check_wire_symmetry([decl, name_table, user, wal_decl2, wal_cc2,
+                                recovery, wal_user2]),
+           "wire-symmetry", True)
+
+    # --- lock blocking ----------------------------------------------------
+    bad_lock = _mkfile("src/threev/core/node.cc", """
+void Node::Bad() {
+  MutexLock lock(mu_);
+  network_->Send(0, std::move(m));
+}
+""")
+    expect("send under lock", check_lock_blocking([bad_lock]),
+           "lock-blocking", True)
+    good_lock = _mkfile("src/threev/core/node.cc", """
+void Node::Good() {
+  {
+    MutexLock lock(mu_);
+    staged = true;
+  }
+  network_->Send(0, std::move(m));
+}
+""")
+    expect("send after lock scope", check_lock_blocking([good_lock]),
+           "lock-blocking", False)
+    bad_wait = _mkfile("src/threev/lock/lock_manager.cc", """
+void LockManager::Bad() {
+  MutexLock lock(mu_);
+  cv_.wait(lock);
+}
+""")
+    expect("cv wait under protocol lock", check_lock_blocking([bad_wait]),
+           "lock-blocking", True)
+    net_wait = _mkfile("src/threev/net/thread_net.cc", """
+void ThreadNet::TimerLoop() {
+  MutexLock lock(timer_mu_);
+  timer_cv_.wait(lock);
+}
+""")
+    expect("net-layer cv wait exempt", check_lock_blocking([net_wait]),
+           "lock-blocking", False)
+
+    # --- version arithmetic ----------------------------------------------
+    bad_arith = _mkfile("src/threev/core/node.cc",
+                        "pass = ctx->version == vr_ + 1;\n")
+    expect("raw version +1", check_version_arith([bad_arith]),
+           "version-arith", True)
+    bad_arith2 = _mkfile("src/threev/core/cluster.cc",
+                         "ok = vu <= vr + 2;\n")
+    expect("raw version +2", check_version_arith([bad_arith2]),
+           "version-arith", True)
+    good_arith = _mkfile(
+        "src/threev/core/node.cc",
+        "pass = VersionGateOpen(ctx->version, vr_);\n"
+        "ok = vu <= MaxUpdateVersionFor(vr);\n"
+        "count = count + 1;\n"          # non-version identifier: fine
+        "// vr + 1 in a comment is fine\n")
+    expect("helper-based arithmetic", check_version_arith([good_arith]),
+           "version-arith", False)
+
+    # --- determinism ------------------------------------------------------
+    bad_rng = _mkfile("src/threev/workload/gen.cc",
+                      "std::random_device rd;\n")
+    expect("random_device in workload", check_determinism([bad_rng]),
+           "determinism", True)
+    bad_clock = _mkfile("src/threev/core/node.cc",
+                        "auto t = std::chrono::steady_clock::now();\n")
+    expect("ambient clock in core", check_determinism([bad_clock]),
+           "determinism", True)
+    good_net = _mkfile("src/threev/net/thread_net.cc",
+                       "auto t = std::chrono::steady_clock::now();\n")
+    expect("net layer may use real clocks", check_determinism([good_net]),
+           "determinism", False)
+    good_now = _mkfile("src/threev/core/node.cc",
+                       "Micros now = network_->Now();\n")
+    expect("Network::Now in core", check_determinism([good_now]),
+           "determinism", False)
+
+    # --- capability discipline -------------------------------------------
+    bad_mutex = _mkfile("src/threev/core/node.h", "std::mutex mu_;\n")
+    expect("raw std::mutex", check_capability([bad_mutex]),
+           "capability", True)
+    ok_any = _mkfile("src/threev/common/other.h",
+                     "std::condition_variable_any cv_;\nMutex mu_;\n")
+    expect("condition_variable_any allowed", check_capability([ok_any]),
+           "capability", False)
+    wrapper = _mkfile("src/threev/common/mutex.h", "std::mutex mu_;\n")
+    expect("wrapper file exempt", check_capability([wrapper]),
+           "capability", False)
+
+    # --- stripping machinery ---------------------------------------------
+    stripped = strip_comments_and_strings(
+        'a = 1; // vr + 1\n/* std::mutex */ s = "vu + 2"; b = 2;\n')
+    if "vr + 1" in stripped or "std::mutex" in stripped or "vu + 2" in stripped:
+        failures.append("comment/string stripping leaked contents")
+    if stripped.count("\n") != 2:
+        failures.append("comment/string stripping changed line structure")
+
+    if failures:
+        print("threev_lint self-test FAILED:", file=sys.stderr)
+        for failure in failures:
+            print("  " + failure, file=sys.stderr)
+        return 1
+    print("threev_lint self-test OK")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--root", default=None,
+                        help="repository root (default: parent of tools/)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="run the seeded-violation self-tests and exit")
+    args = parser.parse_args()
+    if args.self_test:
+        return self_test()
+    root = args.root or os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__)))
+    return lint(root)
+
+
+if __name__ == "__main__":
+    sys.exit(main())
