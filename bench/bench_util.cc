@@ -1,6 +1,8 @@
 #include "bench_util.h"
 
+#include <chrono>
 #include <cstdio>
+#include <sstream>
 
 #include "threev/net/sim_net.h"
 #include "threev/verify/checker.h"
@@ -10,6 +12,7 @@ namespace threev {
 namespace bench {
 
 RunOutcome RunExperiment(const RunConfig& config) {
+  auto wall_start = std::chrono::steady_clock::now();
   Metrics metrics;
   HistoryRecorder history;
   SimNet net(SimNetOptions{.seed = config.seed,
@@ -93,11 +96,99 @@ RunOutcome RunExperiment(const RunConfig& config) {
     CheckResult check = CheckHistory(history.Transactions());
     out.anomalies = check.total_anomalies();
   }
+  out.wall_elapsed_micros = std::chrono::duration_cast<std::chrono::microseconds>(
+                                std::chrono::steady_clock::now() - wall_start)
+                                .count();
   return out;
 }
 
 void PrintHeader(const std::string& title) {
   std::printf("\n=== %s ===\n", title.c_str());
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+bool WriteHotpathJson(const std::string& path, bool quick,
+                      const std::vector<HotpathResult>& results) {
+  std::ostringstream os;
+  os << "{\n";
+  os << "  \"bench\": \"hotpath\",\n";
+  os << "  \"schema_version\": 1,\n";
+  os << "  \"config\": {\"quick\": " << (quick ? "true" : "false")
+     << ", \"compiler\": \"" << JsonEscape(__VERSION__) << "\"},\n";
+  os << "  \"results\": [\n";
+  for (size_t i = 0; i < results.size(); ++i) {
+    const HotpathResult& r = results[i];
+    char row[512];
+    std::snprintf(row, sizeof(row),
+                  "    {\"name\": \"%s\", \"threads\": %zu, \"ops\": %lld, "
+                  "\"elapsed_ns\": %lld, \"throughput_ops\": %.1f, "
+                  "\"p50_ns\": %lld, \"p99_ns\": %lld, "
+                  "\"messages\": %lld, \"bytes\": %lld}%s\n",
+                  JsonEscape(r.name).c_str(), r.threads,
+                  static_cast<long long>(r.ops),
+                  static_cast<long long>(r.elapsed_ns), r.throughput_ops(),
+                  static_cast<long long>(r.p50_ns),
+                  static_cast<long long>(r.p99_ns),
+                  static_cast<long long>(r.messages),
+                  static_cast<long long>(r.bytes),
+                  i + 1 < results.size() ? "," : "");
+    os << row;
+  }
+  os << "  ]\n}\n";
+
+  if (path == "-") {
+    std::fputs(os.str().c_str(), stdout);
+    return true;
+  }
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  bool ok = std::fputs(os.str().c_str(), f) >= 0;
+  ok = std::fclose(f) == 0 && ok;
+  return ok;
+}
+
+std::string RunOutcomeJson(const RunConfig& config, const RunOutcome& out) {
+  std::ostringstream os;
+  os << "{\"name\": \"" << JsonEscape(out.name) << "\""
+     << ", \"nodes\": " << config.num_nodes
+     << ", \"seed\": " << config.seed
+     << ", \"closed_loop\": " << (config.closed_loop ? "true" : "false")
+     << ", \"total_txns\": " << config.total_txns
+     << ", \"committed\": " << out.committed
+     << ", \"aborted\": " << out.aborted
+     << ", \"throughput_txn_s\": " << out.throughput
+     << ", \"virtual_elapsed_us\": " << out.virtual_elapsed
+     << ", \"wall_elapsed_us\": " << out.wall_elapsed_micros
+     << ", \"upd_p50_us\": " << out.upd_p50
+     << ", \"upd_p99_us\": " << out.upd_p99
+     << ", \"read_p50_us\": " << out.read_p50
+     << ", \"read_p99_us\": " << out.read_p99
+     << ", \"messages\": " << out.messages
+     << ", \"bytes\": " << out.bytes
+     << ", \"anomalies\": " << out.anomalies << "}";
+  return os.str();
 }
 
 }  // namespace bench

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "threev/baseline/systems.h"
 
@@ -46,6 +47,10 @@ struct RunOutcome {
   size_t committed = 0;
   size_t aborted = 0;
   Micros virtual_elapsed = 0;
+  // Wall-clock cost of driving the run (host microseconds, not virtual
+  // time): the hot-path engineering trajectory shows up here, while
+  // `virtual_elapsed`/`throughput` stay fixed by the simulated network.
+  int64_t wall_elapsed_micros = 0;
   double throughput = 0;  // committed / virtual second
   int64_t upd_p50 = 0, upd_p99 = 0;
   int64_t read_p50 = 0, read_p99 = 0;
@@ -76,6 +81,40 @@ RunOutcome RunExperiment(const RunConfig& config);
 
 // Prints "name: value" rows under a header; helpers for aligned tables.
 void PrintHeader(const std::string& title);
+
+// --- Machine-readable output (bench_hotpath, CI bench-smoke) --------------
+//
+// Tiny JSON emission helpers so bench mains can export per-run results
+// without a JSON library. The hotpath schema is validated by
+// tools/check_bench_json.py and documented in bench/README.md.
+
+// Escapes `s` for inclusion inside a JSON string literal (no quotes added).
+std::string JsonEscape(const std::string& s);
+
+// One microbenchmark row of the BENCH_hotpath.json report.
+struct HotpathResult {
+  std::string name;
+  size_t threads = 1;
+  int64_t ops = 0;          // total operations across all threads
+  int64_t elapsed_ns = 0;   // wall time for the whole run
+  int64_t p50_ns = 0;       // per-op latency percentiles (batch-sampled)
+  int64_t p99_ns = 0;
+  int64_t messages = 0;     // wire benches: messages encoded/decoded
+  int64_t bytes = 0;        // wire benches: bytes produced/consumed
+
+  double throughput_ops() const {
+    return elapsed_ns > 0 ? ops * 1e9 / static_cast<double>(elapsed_ns) : 0;
+  }
+};
+
+// Serializes the full hotpath report (config + results) and writes it to
+// `path` ("-" = stdout). Returns false on I/O failure.
+bool WriteHotpathJson(const std::string& path, bool quick,
+                      const std::vector<HotpathResult>& results);
+
+// Serializes one protocol-level experiment run (config + outcome) as a
+// single-line JSON object, for appending to per-run logs.
+std::string RunOutcomeJson(const RunConfig& config, const RunOutcome& out);
 
 }  // namespace bench
 }  // namespace threev

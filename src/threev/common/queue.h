@@ -41,6 +41,27 @@ class BlockingQueue {
     return item;
   }
 
+  // Batch drain: blocks until at least one item is available (or the queue
+  // is closed and drained), then takes EVERYTHING queued in one swap. An
+  // empty result means closed-and-drained. Delivery loops prefer this over
+  // Pop(): one lock round trip and one wakeup amortize over the whole
+  // burst, which is where mailbox throughput goes under load.
+  std::deque<T> PopAll() EXCLUDES(mu_) {
+    std::deque<T> batch;
+    MutexLock lock(mu_);
+    cv_.wait(lock, [&]() REQUIRES(mu_) { return !items_.empty() || closed_; });
+    batch.swap(items_);
+    return batch;
+  }
+
+  // Non-blocking variant of PopAll(); empty result means nothing queued.
+  std::deque<T> TryPopAll() EXCLUDES(mu_) {
+    std::deque<T> batch;
+    MutexLock lock(mu_);
+    batch.swap(items_);
+    return batch;
+  }
+
   // Non-blocking variant.
   std::optional<T> TryPop() EXCLUDES(mu_) {
     MutexLock lock(mu_);

@@ -597,9 +597,9 @@ void Node::ExecuteBody(ExecPtr ctx) {
   for (const auto& op : ctx->plan.ops) {
     if (op.kind == OpKind::kGet) {
       // Read the maximum existing version not exceeding V(T); a key that
-      // does not exist yet reads as an empty record (recording semantics).
-      Result<Value> r = store_.Read(op.key, ctx->version);
-      reads[op.key] = r.ok() ? std::move(r).value() : Value{};
+      // does not exist yet reads as an empty record (recording semantics),
+      // which is exactly ReadInto's leave-unchanged-on-NotFound contract.
+      store_.ReadInto(op.key, ctx->version, &reads[op.key]);
     } else if (op.kind == OpKind::kScan) {
       for (auto& [key, value] : store_.ScanPrefix(op.key, ctx->version)) {
         reads[key] = std::move(value);
@@ -684,8 +684,7 @@ void Node::ExecuteBodyNC(ExecPtr ctx) {
   Status failure;
   for (const auto& op : ctx->plan.ops) {
     if (op.kind == OpKind::kGet) {
-      Result<Value> r = store_.Read(op.key, ctx->version);
-      reads[op.key] = r.ok() ? std::move(r).value() : Value{};
+      store_.ReadInto(op.key, ctx->version, &reads[op.key]);
       continue;
     }
     if (op.kind == OpKind::kScan) {

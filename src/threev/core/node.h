@@ -258,9 +258,9 @@ class Node {
 
   // --- durability ---
   // Rebuilds state from checkpoint + WAL and re-enters in-doubt 2PC.
-  // Runs from the constructor, before the node is published to any network
-  // thread, so it touches guarded members lock-free by construction - the
-  // one deliberate analysis opt-out in this class.
+  // SAFETY: runs from the constructor, before the node is published to any
+  // network thread, so it touches guarded members lock-free by construction
+  // - the one deliberate analysis opt-out in this class.
   void RecoverFromLog() NO_THREAD_SAFETY_ANALYSIS;
   // Appends one redo record (no-op when durability is off).
   void LogRecord(const WalRecord& rec, bool force = false)

@@ -74,8 +74,12 @@ struct Message {
   StatusCode status_code = StatusCode::kOk;  // notice / vote / client result
   std::string status_msg;
 
-  // Rough serialized size, used for bytes-sent accounting without paying
-  // for a real encode on the in-process transports.
+  // Rough serialized size. SIM-ONLY accounting: the in-process transports
+  // (SimNet, ThreadNet) charge this estimate to Metrics::bytes_sent because
+  // nothing ever hits a wire there. TcpNet does NOT use it - it counts the
+  // real encoded frame size (header included) at send time, so bytes_sent
+  // on the TCP transport is exact bytes-on-the-wire. The two figures are
+  // close but not comparable digit-for-digit.
   size_t ApproxBytes() const;
 
   std::string ToString() const;  // one-line debug form

@@ -4,6 +4,7 @@
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <sys/socket.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
 #include <chrono>
@@ -15,6 +16,10 @@
 namespace threev {
 
 namespace {
+
+// Frames per sendmsg() call; keeps the iovec array on the stack and stays
+// well under IOV_MAX everywhere.
+constexpr size_t kMaxIov = 64;
 
 // Parses "host:port"; host must be a dotted-quad (or "localhost").
 bool ParseAddress(const std::string& addr, sockaddr_in* out) {
@@ -30,12 +35,24 @@ bool ParseAddress(const std::string& addr, sockaddr_in* out) {
   return inet_pton(AF_INET, host.c_str(), &out->sin_addr) == 1;
 }
 
-bool WriteAll(int fd, const uint8_t* data, size_t size) {
-  size_t sent = 0;
-  while (sent < size) {
-    ssize_t n = ::send(fd, data + sent, size - sent, MSG_NOSIGNAL);
+// Fully writes a scatter-gather array, adjusting for partial sends.
+bool SendAll(int fd, iovec* iov, size_t iovcnt) {
+  while (iovcnt > 0) {
+    msghdr mh{};
+    mh.msg_iov = iov;
+    mh.msg_iovlen = iovcnt;
+    ssize_t n = ::sendmsg(fd, &mh, MSG_NOSIGNAL);
     if (n <= 0) return false;
-    sent += static_cast<size_t>(n);
+    size_t left = static_cast<size_t>(n);
+    while (iovcnt > 0 && left >= iov->iov_len) {
+      left -= iov->iov_len;
+      ++iov;
+      --iovcnt;
+    }
+    if (left > 0) {
+      iov->iov_base = static_cast<uint8_t*>(iov->iov_base) + left;
+      iov->iov_len -= left;
+    }
   }
   return true;
 }
@@ -101,9 +118,9 @@ void TcpNet::Stop() {
   }
   {
     MutexLock lock(conn_mu_);
-    for (auto& [id, fd] : connections_) {
-      ::shutdown(fd, SHUT_RDWR);
-      ::close(fd);
+    for (auto& [id, conn] : connections_) {
+      ::shutdown(conn->fd, SHUT_RDWR);
+      ::close(conn->fd);
     }
     connections_.clear();
   }
@@ -137,14 +154,23 @@ void TcpNet::AcceptLoop() {
 }
 
 void TcpNet::ReaderLoop(int fd) {
+  // Reused across frames: steady-state receive does not allocate for the
+  // payload once the buffer has grown to the working frame size.
+  std::vector<uint8_t> payload;
   for (;;) {
     uint8_t header[8];
     if (!ReadAll(fd, header, sizeof(header))) break;
-    uint32_t len, dest;
-    std::memcpy(&len, header, 4);
-    std::memcpy(&dest, header + 4, 4);
+    // Header fields are little-endian on the wire, same as the payload.
+    uint32_t len = static_cast<uint32_t>(header[0]) |
+                   static_cast<uint32_t>(header[1]) << 8 |
+                   static_cast<uint32_t>(header[2]) << 16 |
+                   static_cast<uint32_t>(header[3]) << 24;
+    uint32_t dest = static_cast<uint32_t>(header[4]) |
+                    static_cast<uint32_t>(header[5]) << 8 |
+                    static_cast<uint32_t>(header[6]) << 16 |
+                    static_cast<uint32_t>(header[7]) << 24;
     if (len > (64u << 20)) break;  // oversized frame: drop connection
-    std::vector<uint8_t> payload(len);
+    payload.resize(len);
     if (!ReadAll(fd, payload.data(), len)) break;
     Result<Message> msg = DecodeMessage(payload.data(), payload.size());
     if (!msg.ok()) {
@@ -158,36 +184,44 @@ void TcpNet::ReaderLoop(int fd) {
 }
 
 void TcpNet::DispatchLoop() {
-  while (auto item = inbound_.Pop()) {
-    auto it = handlers_.find(item->to);
-    if (it == handlers_.end()) {
-      THREEV_LOG(kWarn) << "no local endpoint " << item->to;
-      continue;
+  for (;;) {
+    // Batch drain: one wakeup delivers every frame queued since the last,
+    // instead of a lock round trip per message.
+    std::deque<Inbound> batch = inbound_.PopAll();
+    if (batch.empty()) return;  // closed and drained
+    for (auto& item : batch) {
+      auto it = handlers_.find(item.to);
+      if (it == handlers_.end()) {
+        THREEV_LOG(kWarn) << "no local endpoint " << item.to;
+        continue;
+      }
+      it->second(item.msg);
     }
-    it->second(item->msg);
   }
 }
 
-int TcpNet::ConnectionTo(NodeId to) {
+std::shared_ptr<TcpNet::Conn> TcpNet::ConnectionTo(NodeId to) {
   {
     MutexLock lock(conn_mu_);
     auto it = connections_.find(to);
     if (it != connections_.end()) return it->second;
   }
   auto peer = options_.peers.find(to);
-  if (peer == options_.peers.end()) return -1;
+  if (peer == options_.peers.end()) return nullptr;
   sockaddr_in addr;
-  if (!ParseAddress(peer->second, &addr)) return -1;
+  if (!ParseAddress(peer->second, &addr)) return nullptr;
 
   Micros deadline = Now() + options_.connect_timeout;
   while (!stopping_.load() && Now() < deadline) {
     int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-    if (fd < 0) return -1;
+    if (fd < 0) return nullptr;
     if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0) {
       int one = 1;
       ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      auto conn = std::make_shared<Conn>();
+      conn->fd = fd;
       MutexLock lock(conn_mu_);
-      auto [it, inserted] = connections_.emplace(to, fd);
+      auto [it, inserted] = connections_.emplace(to, conn);
       if (!inserted) {
         ::close(fd);  // another thread raced us; use theirs
       }
@@ -196,7 +230,49 @@ int TcpNet::ConnectionTo(NodeId to) {
     ::close(fd);
     std::this_thread::sleep_for(std::chrono::milliseconds(50));
   }
-  return -1;
+  return nullptr;
+}
+
+void TcpNet::DropConn(NodeId to, const std::shared_ptr<Conn>& conn) {
+  MutexLock lock(conn_mu_);
+  auto it = connections_.find(to);
+  if (it != connections_.end() && it->second == conn) {
+    ::close(conn->fd);
+    connections_.erase(it);
+  }
+}
+
+void TcpNet::FlushConn(const std::shared_ptr<Conn>& conn, NodeId to) {
+  for (;;) {
+    std::vector<std::vector<uint8_t>> batch;
+    {
+      MutexLock lock(conn->mu);
+      if (conn->pending.empty()) {
+        conn->flushing = false;
+        return;
+      }
+      batch.swap(conn->pending);
+    }
+    size_t i = 0;
+    while (i < batch.size()) {
+      iovec iov[kMaxIov];
+      size_t n = 0;
+      for (; n < kMaxIov && i + n < batch.size(); ++n) {
+        iov[n].iov_base = batch[i + n].data();
+        iov[n].iov_len = batch[i + n].size();
+      }
+      if (!SendAll(conn->fd, iov, n)) {
+        THREEV_LOG(kWarn) << "write to endpoint " << to << " failed";
+        DropConn(to, conn);
+        MutexLock lock(conn->mu);
+        conn->pending.clear();  // connection is gone; drop queued frames
+        conn->flushing = false;
+        return;
+      }
+      i += n;
+    }
+    for (auto& frame : batch) frame_pool_.Release(std::move(frame));
+  }
 }
 
 void TcpNet::Send(NodeId to, Message msg) {
@@ -209,41 +285,56 @@ void TcpNet::Send(NodeId to, Message msg) {
     inbound_.Push(Inbound{to, std::move(msg)});
     return;
   }
-  std::vector<uint8_t> payload = EncodeMessage(msg);
+  // Build the full frame (header + payload) in one recycled buffer. The
+  // exact-size pre-pass lets the length prefix go first, with no patching
+  // and no second buffer.
+  const size_t payload_size = EncodedMessageSize(msg);
+  std::vector<uint8_t> frame = frame_pool_.Acquire();
+  {
+    WireWriter w(&frame);
+    w.Reserve(8 + payload_size);
+    w.U32(static_cast<uint32_t>(payload_size));
+    w.U32(to);
+    EncodeMessageTo(w, msg);
+  }
+  // The length header was written before the payload, so the size pre-pass
+  // must be exact or the receiver mis-frames the stream.
+  THREEV_CHECK(frame.size() == 8 + payload_size);
   if (metrics_ != nullptr) {
-    metrics_->bytes_sent.fetch_add(static_cast<int64_t>(payload.size() + 8),
+    // Real bytes handed to the socket for this message, header included
+    // (TcpNet never uses the sim-only Message::ApproxBytes estimate).
+    metrics_->bytes_sent.fetch_add(static_cast<int64_t>(frame.size()),
                                    std::memory_order_relaxed);
   }
-  int fd = ConnectionTo(to);
-  if (fd < 0) {
+  std::shared_ptr<Conn> conn = ConnectionTo(to);
+  if (conn == nullptr) {
     THREEV_LOG(kWarn) << "cannot reach endpoint " << to << ", dropping "
                       << MsgTypeName(msg.type);
     return;
   }
-  uint8_t header[8];
-  uint32_t len = static_cast<uint32_t>(payload.size());
-  std::memcpy(header, &len, 4);
-  std::memcpy(header + 4, &to, 4);
-  MutexLock lock(write_mu_);
-  if (!WriteAll(fd, header, sizeof(header)) ||
-      !WriteAll(fd, payload.data(), payload.size())) {
-    THREEV_LOG(kWarn) << "write to endpoint " << to << " failed";
-    MutexLock conn_lock(conn_mu_);
-    auto it = connections_.find(to);
-    if (it != connections_.end() && it->second == fd) {
-      ::close(fd);
-      connections_.erase(it);
-    }
+  bool flush;
+  {
+    MutexLock lock(conn->mu);
+    conn->pending.push_back(std::move(frame));
+    flush = !conn->flushing;
+    if (flush) conn->flushing = true;
   }
+  // First sender to find the connection idle drains it - including frames
+  // that arrive while it is busy writing. Everyone else just enqueued.
+  if (flush) FlushConn(conn, to);
 }
 
 void TcpNet::ScheduleAfter(Micros delay, std::function<void()> fn) {
+  bool new_front;
   {
     MutexLock lock(timer_mu_);
     if (timer_stop_) return;
-    timers_.emplace(Now() + delay, std::move(fn));
+    auto it = timers_.emplace(Now() + delay, std::move(fn));
+    new_front = (it == timers_.begin());
   }
-  timer_cv_.notify_all();
+  // Wake the timer thread only when the new deadline precedes the one it
+  // is sleeping toward; a later timer will be picked up naturally.
+  if (new_front) timer_cv_.notify_all();
 }
 
 void TcpNet::TimerLoop() {

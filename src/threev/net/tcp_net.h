@@ -14,6 +14,7 @@
 #include "threev/common/thread_annotations.h"
 #include "threev/metrics/metrics.h"
 #include "threev/net/network.h"
+#include "threev/net/wire.h"
 
 namespace threev {
 
@@ -29,10 +30,19 @@ struct TcpNetOptions {
 };
 
 // TCP transport for genuine multi-process deployments ("manual networking
-// plumbing"). Frame format: u32 length, u32 destination endpoint id,
-// EncodeMessage payload. Each accepted connection gets a reader thread;
-// inbound messages are dispatched on a per-process dispatcher thread so
-// handler execution is serialized the same way as ThreadNet mailboxes.
+// plumbing"). Frame format: u32 length, u32 destination endpoint id
+// (little-endian), EncodeMessage payload. Each accepted connection gets a
+// reader thread; inbound messages are dispatched on a per-process
+// dispatcher thread so handler execution is serialized the same way as
+// ThreadNet mailboxes.
+//
+// Outbound frames use a combining flush per connection: senders enqueue an
+// encoded frame under the connection's lock, and whichever sender finds
+// the connection idle becomes the flusher, draining every queued frame
+// into a single scatter-gather syscall. Concurrent senders to one peer
+// coalesce instead of serializing on a process-wide write lock, and the
+// frame buffers recycle through an EncodeBufferPool so steady-state sends
+// do not allocate.
 class TcpNet : public Network {
  public:
   explicit TcpNet(TcpNetOptions options, Metrics* metrics = nullptr);
@@ -42,7 +52,7 @@ class TcpNet : public Network {
   TcpNet& operator=(const TcpNet&) = delete;
 
   void RegisterEndpoint(NodeId id, MessageHandler handler) override;
-  void Send(NodeId to, Message msg) override EXCLUDES(write_mu_, conn_mu_);
+  void Send(NodeId to, Message msg) override EXCLUDES(conn_mu_);
   void ScheduleAfter(Micros delay, std::function<void()> fn) override
       EXCLUDES(timer_mu_);
   Micros Now() const override;
@@ -57,12 +67,29 @@ class TcpNet : public Network {
     Message msg;
   };
 
+  // One outbound TCP connection. `pending` holds fully framed buffers
+  // (header + payload); `flushing` marks that some sender is draining the
+  // queue, so others just enqueue and leave.
+  struct Conn {
+    int fd = -1;
+    Mutex mu;
+    std::vector<std::vector<uint8_t>> pending GUARDED_BY(mu);
+    bool flushing GUARDED_BY(mu) = false;
+  };
+
   void AcceptLoop() EXCLUDES(readers_mu_);
   void ReaderLoop(int fd);
   void DispatchLoop();
   void TimerLoop() EXCLUDES(timer_mu_);
-  // Returns a connected fd for `to` (cached), or -1.
-  int ConnectionTo(NodeId to) EXCLUDES(conn_mu_);
+  // Returns the cached (or freshly established) connection to `to`.
+  std::shared_ptr<Conn> ConnectionTo(NodeId to) EXCLUDES(conn_mu_);
+  // Drains conn->pending with sendmsg() until another flusher takes over
+  // or the queue is empty. Called by the sender that set `flushing`.
+  void FlushConn(const std::shared_ptr<Conn>& conn, NodeId to)
+      EXCLUDES(conn_mu_);
+  // Closes and forgets a broken connection (if still current).
+  void DropConn(NodeId to, const std::shared_ptr<Conn>& conn)
+      EXCLUDES(conn_mu_);
 
   TcpNetOptions options_;
   Metrics* metrics_;
@@ -82,10 +109,10 @@ class TcpNet : public Network {
   std::thread dispatch_thread_;
 
   Mutex conn_mu_;
-  std::unordered_map<NodeId, int> connections_ GUARDED_BY(conn_mu_);
-  // Serializes frame writes across all sockets (a capability with no data
-  // of its own: the protected resource is the byte stream).
-  Mutex write_mu_;
+  std::unordered_map<NodeId, std::shared_ptr<Conn>> connections_
+      GUARDED_BY(conn_mu_);
+  // Recycles encoded frame buffers across sends.
+  EncodeBufferPool frame_pool_;
 
   Mutex timer_mu_;
   CondVar timer_cv_;

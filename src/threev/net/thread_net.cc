@@ -1,6 +1,8 @@
 #include "threev/net/thread_net.h"
 
+#include <algorithm>
 #include <chrono>
+#include <deque>
 
 #include "threev/common/logging.h"
 
@@ -23,13 +25,31 @@ void ThreadNet::RegisterEndpoint(NodeId id, MessageHandler handler) {
 
 void ThreadNet::Start() {
   THREEV_CHECK(!started_.exchange(true, std::memory_order_acq_rel));
+  const int workers = std::max(1, options_.workers_per_endpoint);
   for (auto& [id, ep] : endpoints_) {
     Endpoint* e = ep.get();
-    e->worker = std::thread([e] {
-      while (auto msg = e->mailbox.Pop()) {
-        e->handler(*msg);
+    if (workers == 1) {
+      // Single worker: drain the mailbox in batches. One wakeup and one
+      // lock round trip serve an entire burst of messages, and handler
+      // execution stays serialized.
+      e->workers.emplace_back([e] {
+        for (;;) {
+          std::deque<Message> batch = e->mailbox.PopAll();
+          if (batch.empty()) return;  // closed and drained
+          for (auto& msg : batch) e->handler(msg);
+        }
+      });
+    } else {
+      // Multiple workers must pull one message at a time so the burst
+      // spreads across them instead of landing on whichever woke first.
+      for (int w = 0; w < workers; ++w) {
+        e->workers.emplace_back([e] {
+          while (auto msg = e->mailbox.Pop()) {
+            e->handler(*msg);
+          }
+        });
       }
-    });
+    }
   }
   timer_thread_ = std::thread([this] { TimerLoop(); });
 }
@@ -45,7 +65,9 @@ void ThreadNet::Stop() {
   if (timer_thread_.joinable()) timer_thread_.join();
   for (auto& [id, ep] : endpoints_) ep->mailbox.Close();
   for (auto& [id, ep] : endpoints_) {
-    if (ep->worker.joinable()) ep->worker.join();
+    for (auto& worker : ep->workers) {
+      if (worker.joinable()) worker.join();
+    }
   }
 }
 
@@ -71,12 +93,18 @@ void ThreadNet::Send(NodeId to, Message msg) {
 }
 
 void ThreadNet::ScheduleAfter(Micros delay, std::function<void()> fn) {
+  bool new_front;
   {
     MutexLock lock(timer_mu_);
     if (timer_stop_) return;
-    timers_.emplace(Now() + delay, std::move(fn));
+    auto it = timers_.emplace(Now() + delay, std::move(fn));
+    new_front = (it == timers_.begin());
   }
-  timer_cv_.notify_all();
+  // Only a timer that becomes the new earliest deadline changes what the
+  // timer thread should be sleeping toward; waking it for every delayed
+  // delivery (the delivery_delay path routes all sends through here) just
+  // burns a syscall and a context switch per message.
+  if (new_front) timer_cv_.notify_all();
 }
 
 void ThreadNet::TimerLoop() {

@@ -23,6 +23,12 @@ struct ThreadNetOptions {
   // destination mailbox, applied on the timer thread so senders never
   // block). 0 = deliver immediately.
   Micros delivery_delay = 0;
+  // Worker threads per endpoint mailbox. The default of 1 preserves the
+  // serialized-handler contract that Node relies on. Values > 1 run the
+  // endpoint's handler concurrently from several workers - only valid for
+  // handlers that are themselves thread-safe (e.g. load generators or
+  // fan-out sinks in benchmarks), never for a Node endpoint.
+  int workers_per_endpoint = 1;
 };
 
 // One mailbox + worker thread per endpoint; a dedicated timer thread serves
@@ -54,7 +60,7 @@ class ThreadNet : public Network {
   struct Endpoint {
     MessageHandler handler;
     BlockingQueue<Message> mailbox;
-    std::thread worker;
+    std::vector<std::thread> workers;
   };
 
   void TimerLoop() EXCLUDES(timer_mu_);

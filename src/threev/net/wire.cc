@@ -1,23 +1,9 @@
 #include "threev/net/wire.h"
 
+#include <algorithm>
 #include <cstring>
 
 namespace threev {
-
-void WireWriter::U8(uint8_t v) { buf_.push_back(v); }
-
-void WireWriter::U32(uint32_t v) {
-  for (int i = 0; i < 4; ++i) buf_.push_back(static_cast<uint8_t>(v >> (8 * i)));
-}
-
-void WireWriter::U64(uint64_t v) {
-  for (int i = 0; i < 8; ++i) buf_.push_back(static_cast<uint8_t>(v >> (8 * i)));
-}
-
-void WireWriter::Str(const std::string& s) {
-  U32(static_cast<uint32_t>(s.size()));
-  buf_.insert(buf_.end(), s.begin(), s.end());
-}
 
 bool WireReader::Need(size_t n) {
   if (!ok_ || size_ - pos_ < n) {
@@ -35,14 +21,19 @@ uint8_t WireReader::U8() {
 uint32_t WireReader::U32() {
   if (!Need(4)) return 0;
   uint32_t v = 0;
-  for (int i = 0; i < 4; ++i) v |= static_cast<uint32_t>(data_[pos_++]) << (8 * i);
+  const uint8_t* p = data_ + pos_;
+  v = static_cast<uint32_t>(p[0]) | static_cast<uint32_t>(p[1]) << 8 |
+      static_cast<uint32_t>(p[2]) << 16 | static_cast<uint32_t>(p[3]) << 24;
+  pos_ += 4;
   return v;
 }
 
 uint64_t WireReader::U64() {
   if (!Need(8)) return 0;
   uint64_t v = 0;
-  for (int i = 0; i < 8; ++i) v |= static_cast<uint64_t>(data_[pos_++]) << (8 * i);
+  const uint8_t* p = data_ + pos_;
+  for (int i = 0; i < 8; ++i) v |= static_cast<uint64_t>(p[i]) << (8 * i);
+  pos_ += 8;
   return v;
 }
 
@@ -67,9 +58,10 @@ Value DecodeValue(WireReader& r) {
   Value v;
   v.num = r.I64();
   uint32_t n = r.U32();
-  // Defensive bound: a malformed length must not cause a huge allocation.
-  if (n > (1u << 24)) n = 0;
-  v.ids.reserve(n);
+  // Allocation bound: each id takes 8 bytes on the wire, so a count the
+  // remaining frame cannot hold is malformed - reserve at most what could
+  // actually be present, and let the read loop fail on truncation.
+  v.ids.reserve(std::min<size_t>(n, r.remaining() / 8));
   for (uint32_t i = 0; i < n && r.ok(); ++i) v.ids.push_back(r.U64());
   v.str = r.Str();
   return v;
@@ -93,8 +85,8 @@ SubtxnPlan DecodePlan(WireReader& r, int depth = 0) {
   if (depth > 64) return plan;  // malformed recursion guard
   plan.node = r.U32();
   uint32_t nops = r.U32();
-  if (nops > (1u << 20)) nops = 0;
-  plan.ops.reserve(nops);
+  // Minimum encoded op: kind(1) + key len(4) + arg(8) + payload len(4).
+  plan.ops.reserve(std::min<size_t>(nops, r.remaining() / 17));
   for (uint32_t i = 0; i < nops && r.ok(); ++i) {
     Operation op;
     op.kind = static_cast<OpKind>(r.U8());
@@ -104,17 +96,46 @@ SubtxnPlan DecodePlan(WireReader& r, int depth = 0) {
     plan.ops.push_back(std::move(op));
   }
   uint32_t nchildren = r.U32();
-  if (nchildren > (1u << 16)) nchildren = 0;
+  // Minimum encoded child plan: node(4) + nops(4) + nchildren(4).
+  plan.children.reserve(std::min<size_t>(nchildren, r.remaining() / 12));
   for (uint32_t i = 0; i < nchildren && r.ok(); ++i) {
     plan.children.push_back(DecodePlan(r, depth + 1));
   }
   return plan;
 }
 
+size_t EncodedPlanSize(const SubtxnPlan& plan) {
+  size_t n = 4 + 4 + 4;  // node + op count + child count
+  for (const auto& op : plan.ops) {
+    n += 1 + 4 + op.key.size() + 8 + 4 + op.payload.size();
+  }
+  for (const auto& c : plan.children) n += EncodedPlanSize(c);
+  return n;
+}
+
 }  // namespace
 
-std::vector<uint8_t> EncodeMessage(const Message& msg) {
-  WireWriter w;
+size_t EncodedMessageSize(const Message& msg) {
+  // 47 fixed header bytes (type..origin) + status_code + status_msg length
+  // prefix. TcpNet writes this as the frame length, so it must be exact.
+  size_t n = 47 + 1 + 4;
+  n += EncodedPlanSize(msg.plan);
+  n += 4 + 8 * msg.spawned.size();
+  n += 4;
+  for (const auto& [key, value] : msg.reads) {
+    n += 4 + key.size() + 8 + 4 + 8 * value.ids.size() + 4 + value.str.size();
+  }
+  n += 4 + 12 * msg.counters_r.size();
+  n += 4 + 12 * msg.counters_c.size();
+  n += msg.status_msg.size();
+  return n;
+}
+
+void EncodeMessageTo(WireWriter& w, const Message& msg) {
+  // Exact-size pre-pass: the walk below touches only lengths (no payload
+  // bytes), and makes the encode itself a single allocation - or none at
+  // all when the buffer is a reused one that has already grown to size.
+  w.Reserve(EncodedMessageSize(msg));
   w.U8(static_cast<uint8_t>(msg.type));
   w.U32(msg.from);
   w.U64(msg.txn);
@@ -145,7 +166,17 @@ std::vector<uint8_t> EncodeMessage(const Message& msg) {
   }
   w.U8(static_cast<uint8_t>(msg.status_code));
   w.Str(msg.status_msg);
-  return w.Take();
+}
+
+void EncodeMessageInto(const Message& msg, std::vector<uint8_t>* out) {
+  WireWriter w(out);
+  EncodeMessageTo(w, msg);
+}
+
+std::vector<uint8_t> EncodeMessage(const Message& msg) {
+  std::vector<uint8_t> out;
+  EncodeMessageInto(msg, &out);
+  return out;
 }
 
 Result<Message> DecodeMessage(const uint8_t* data, size_t size) {
@@ -163,25 +194,26 @@ Result<Message> DecodeMessage(const uint8_t* data, size_t size) {
   msg.origin = r.U32();
   msg.plan = DecodePlan(r);
   uint32_t nspawned = r.U32();
-  if (nspawned > (1u << 20)) nspawned = 0;
+  msg.spawned.reserve(std::min<size_t>(nspawned, r.remaining() / 8));
   for (uint32_t i = 0; i < nspawned && r.ok(); ++i) {
     msg.spawned.push_back(r.U64());
   }
   uint32_t nreads = r.U32();
-  if (nreads > (1u << 20)) nreads = 0;
+  // Minimum encoded read: key len(4) + num(8) + ids len(4) + str len(4).
+  msg.reads.reserve(std::min<size_t>(nreads, r.remaining() / 20));
   for (uint32_t i = 0; i < nreads && r.ok(); ++i) {
     std::string key = r.Str();
     msg.reads.emplace_back(std::move(key), DecodeValue(r));
   }
   uint32_t nr = r.U32();
-  if (nr > (1u << 20)) nr = 0;
+  msg.counters_r.reserve(std::min<size_t>(nr, r.remaining() / 12));
   for (uint32_t i = 0; i < nr && r.ok(); ++i) {
     NodeId node = r.U32();
     int64_t count = r.I64();
     msg.counters_r.emplace_back(node, count);
   }
   uint32_t nc = r.U32();
-  if (nc > (1u << 20)) nc = 0;
+  msg.counters_c.reserve(std::min<size_t>(nc, r.remaining() / 12));
   for (uint32_t i = 0; i < nc && r.ok(); ++i) {
     NodeId node = r.U32();
     int64_t count = r.I64();

@@ -1,7 +1,12 @@
 #include "threev/storage/versioned_store.h"
 
 #include <algorithm>
-#include <functional>
+
+#if defined(__GNUC__) || defined(__clang__)
+#define THREEV_ALWAYS_INLINE __attribute__((always_inline)) inline
+#else
+#define THREEV_ALWAYS_INLINE inline
+#endif
 
 namespace threev {
 
@@ -22,43 +27,164 @@ int VersionedStore::Record::FindExact(Version v) const {
 
 VersionedStore::VersionedStore(Metrics* metrics) : metrics_(metrics) {}
 
-VersionedStore::Shard& VersionedStore::ShardFor(const std::string& key) {
-  return shards_[std::hash<std::string>{}(key) % kNumShards];
-}
-const VersionedStore::Shard& VersionedStore::ShardFor(
-    const std::string& key) const {
-  return shards_[std::hash<std::string>{}(key) % kNumShards];
-}
+// ---------------------------------------------------------------------------
+// Fast-slot seqlock (DESIGN.md section 11)
+// ---------------------------------------------------------------------------
 
-void VersionedStore::NoteVersionCount(size_t n) {
-  MutexLock lock(stats_mu_);
-  if (n > max_versions_observed_) max_versions_observed_ = n;
-}
+void VersionedStore::RefreshSlot(Shard& shard, size_t hash,
+                                 std::string_view key, const Record* rec) {
+  FastSlot& slot = shard.slots[SlotIndex(hash)];
+  const bool eligible =
+      rec != nullptr && rec->versions.size() == 1 &&
+      key.size() <= FastSlot::kKeyWords * 8 &&
+      rec->versions[0].second.ids.empty() &&
+      rec->versions[0].second.str.size() <= FastSlot::kStrWords * 8;
 
-void VersionedStore::Seed(const std::string& key, Value value,
-                          Version version) {
-  Shard& shard = ShardFor(key);
-  MutexLock lock(shard.mu);
-  Record& rec = shard.records[key];
-  int idx = rec.FindExact(version);
-  if (idx >= 0) {
-    rec.versions[idx].second = std::move(value);
-  } else {
-    rec.versions.emplace_back(version, std::move(value));
-    std::sort(rec.versions.begin(), rec.versions.end(),
-              [](const auto& a, const auto& b) { return a.first < b.first; });
+  // Occupancy check is race-free: slots are only written under the shard's
+  // exclusive lock, which we hold.
+  uint32_t cur_key_len = slot.lens.load(std::memory_order_relaxed) & 0xffu;
+  bool occupied_by_key = false;
+  if (cur_key_len != 0 && cur_key_len == key.size()) {
+    uint64_t kw[FastSlot::kKeyWords];
+    for (size_t i = 0; i < FastSlot::kKeyWords; ++i) {
+      kw[i] = slot.key_words[i].load(std::memory_order_relaxed);
+    }
+    occupied_by_key = std::memcmp(kw, key.data(), cur_key_len) == 0;
   }
+  // Ineligible records only need a write if they currently occupy the slot
+  // (a stale entry for a different key stays valid for that key).
+  if (!eligible && !occupied_by_key) return;
+
+  // Seqlock publish: odd seq marks the write in progress; the release
+  // fence orders the odd store before the payload, the final release store
+  // orders the payload before the even seq readers validate against.
+  uint32_t s = slot.seq.load(std::memory_order_relaxed);
+  slot.seq.store(s + 1, std::memory_order_relaxed);
+  std::atomic_thread_fence(std::memory_order_release);
+  if (!eligible) {
+    slot.lens.store(FastSlot::kEmpty, std::memory_order_relaxed);
+  } else {
+    const Value& v = rec->versions[0].second;
+    slot.lens.store(static_cast<uint32_t>(key.size()) |
+                        (static_cast<uint32_t>(v.str.size()) << 8),
+                    std::memory_order_relaxed);
+    slot.version.store(rec->versions[0].first, std::memory_order_relaxed);
+    slot.num.store(v.num, std::memory_order_relaxed);
+    uint64_t kw[FastSlot::kKeyWords] = {};
+    std::memcpy(kw, key.data(), key.size());
+    for (size_t i = 0; i < FastSlot::kKeyWords; ++i) {
+      slot.key_words[i].store(kw[i], std::memory_order_relaxed);
+    }
+    uint64_t sw[FastSlot::kStrWords] = {};
+    std::memcpy(sw, v.str.data(), v.str.size());
+    for (size_t i = 0; i < FastSlot::kStrWords; ++i) {
+      slot.str_words[i].store(sw[i], std::memory_order_relaxed);
+    }
+  }
+  slot.seq.store(s + 2, std::memory_order_release);
+}
+
+// SAFETY: lock-free by design. `slots` is GUARDED_BY(mu) for writers; this
+// reader validates its snapshot with the seqlock protocol instead of the
+// lock (see the retry argument in DESIGN.md section 11). Every cell is a
+// std::atomic, so the unsynchronized loads are UB-free; a torn or
+// concurrent read is detected by the seq re-check and retried or handed to
+// the shared-lock fallback.
+//
+// Forced inline: this is the per-read cost floor, and the ~10-cycle call
+// frame would otherwise be the single largest line item on it.
+THREEV_ALWAYS_INLINE
+bool VersionedStore::TryReadFast(const Shard& shard, size_t hash,
+                                 std::string_view key, Version max_version,
+                                 Value* out) const NO_THREAD_SAFETY_ANALYSIS {
+  const FastSlot& slot = shard.slots[SlotIndex(hash)];
+  const size_t key_len = key.size();
+  if (key_len == 0 || key_len > FastSlot::kKeyWords * 8) return false;
+  // Zero-padded probe copy, hoisted out of the retry loop. Published slots
+  // zero-pad the last key word, so word equality is exact key equality.
+  const size_t key_words = (key_len + 7) / 8;
+  uint64_t want[FastSlot::kKeyWords];
+  want[key_words - 1] = 0;
+  std::memcpy(want, key.data(), key_len);
+  for (int attempt = 0; attempt < 3; ++attempt) {
+    uint32_t s1 = slot.seq.load(std::memory_order_acquire);
+    if (s1 & 1u) return false;  // publish in progress; take the lock
+    uint32_t lens = slot.lens.load(std::memory_order_relaxed);
+    // Any early mismatch exit is safe without seq validation: `false` only
+    // routes the read to the authoritative shared-lock path. Only a `true`
+    // return needs the fence + seq re-check below.
+    if ((lens & 0xffu) != key_len) return false;
+    bool match = true;
+    for (size_t i = 0; i < key_words; ++i) {
+      if (slot.key_words[i].load(std::memory_order_relaxed) != want[i]) {
+        match = false;
+        break;
+      }
+    }
+    if (!match) return false;
+    uint64_t version = slot.version.load(std::memory_order_relaxed);
+    int64_t num = slot.num.load(std::memory_order_relaxed);
+    const uint32_t str_len = (lens >> 8) & 0xffu;
+    uint64_t sw[FastSlot::kStrWords];
+    for (size_t i = 0; i < (str_len + 7) / 8; ++i) {
+      sw[i] = slot.str_words[i].load(std::memory_order_relaxed);
+    }
+    std::atomic_thread_fence(std::memory_order_acquire);
+    if (slot.seq.load(std::memory_order_relaxed) != s1) continue;  // torn
+
+    // Validated snapshot; decide entirely from the copied-out state.
+    if (version > max_version) return false;  // locked path decides NotFound
+    out->num = num;
+    out->ids.clear();
+    if (str_len == 0) {
+      out->str.clear();
+    } else {
+      out->str.assign(reinterpret_cast<const char*>(sw), str_len);
+    }
+    return true;
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// Reads
+// ---------------------------------------------------------------------------
+
+Status VersionedStore::ReadInto(const std::string& key, Version max_version,
+                                Value* out) const {
+  const size_t hash = HashKey(key);
+  const Shard& shard = ShardFor(hash);
+  if (TryReadFast(shard, hash, key, max_version, out)) return Status::Ok();
+  ReaderMutexLock lock(shard.mu);
+  auto it = shard.records.find(HashedKey{key, hash});
+  if (it == shard.records.end()) return Status::NotFound(key);
+  int idx = it->second.FindLE(max_version);
+  if (idx < 0) {
+    return Status::NotFound(key + " has no version <= " +
+                            std::to_string(max_version));
+  }
+  *out = it->second.versions[idx].second;
+  return Status::Ok();
 }
 
 Result<Value> VersionedStore::Read(const std::string& key,
                                    Version max_version) const {
-  const Shard& shard = ShardFor(key);
-  MutexLock lock(shard.mu);
-  auto it = shard.records.find(key);
+  const size_t hash = HashKey(key);
+  const Shard& shard = ShardFor(hash);
+  {
+    // Fill through an in-place result: the fast path constructs exactly
+    // one Value and never touches the shard lock.
+    Result<Value> res{Value{}};
+    if (TryReadFast(shard, hash, key, max_version, &*res)) return res;
+  }
+  ReaderMutexLock lock(shard.mu);
+  auto it = shard.records.find(HashedKey{key, hash});
   if (it == shard.records.end()) return Status::NotFound(key);
   int idx = it->second.FindLE(max_version);
-  if (idx < 0) return Status::NotFound(key + " has no version <= " +
-                                       std::to_string(max_version));
+  if (idx < 0) {
+    return Status::NotFound(key + " has no version <= " +
+                            std::to_string(max_version));
+  }
   return it->second.versions[idx].second;
 }
 
@@ -66,7 +192,7 @@ std::vector<std::pair<std::string, Value>> VersionedStore::ScanPrefix(
     const std::string& prefix, Version max_version) const {
   std::vector<std::pair<std::string, Value>> out;
   for (const auto& shard : shards_) {
-    MutexLock lock(shard.mu);
+    ReaderMutexLock lock(shard.mu);
     for (const auto& [key, rec] : shard.records) {
       if (key.compare(0, prefix.size(), prefix) != 0) continue;
       int idx = rec.FindLE(max_version);
@@ -78,12 +204,42 @@ std::vector<std::pair<std::string, Value>> VersionedStore::ScanPrefix(
   return out;
 }
 
+// ---------------------------------------------------------------------------
+// Writes
+// ---------------------------------------------------------------------------
+
+void VersionedStore::Seed(const std::string& key, Value value,
+                          Version version) {
+  const size_t hash = HashKey(key);
+  Shard& shard = ShardFor(hash);
+  SharedMutexLock lock(shard.mu);
+  auto it = shard.records.find(HashedKey{key, hash});
+  if (it == shard.records.end()) {
+    it = shard.records.emplace(key, Record{}).first;
+  }
+  Record& rec = it->second;
+  int idx = rec.FindExact(version);
+  if (idx >= 0) {
+    rec.versions[idx].second = std::move(value);
+  } else {
+    rec.versions.emplace_back(version, std::move(value));
+    std::sort(rec.versions.begin(), rec.versions.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+  }
+  RefreshSlot(shard, hash, key, &rec);
+}
+
 Result<int> VersionedStore::Update(
     const std::string& key, Version version, const Operation& op,
     std::vector<std::pair<Version, Value>>* after_images) {
-  Shard& shard = ShardFor(key);
-  MutexLock lock(shard.mu);
-  Record& rec = shard.records[key];
+  const size_t hash = HashKey(key);
+  Shard& shard = ShardFor(hash);
+  SharedMutexLock lock(shard.mu);
+  auto it = shard.records.find(HashedKey{key, hash});
+  if (it == shard.records.end()) {
+    it = shard.records.emplace(key, Record{}).first;
+  }
+  Record& rec = it->second;
 
   // Atomic check-and-create of key(version): copy the maximum existing
   // version <= `version`, or start from an empty value for a fresh key.
@@ -116,15 +272,21 @@ Result<int> VersionedStore::Update(
                                             std::memory_order_relaxed);
   }
   NoteVersionCount(rec.versions.size());
+  RefreshSlot(shard, hash, key, &rec);
   return applied;
 }
 
 Status VersionedStore::UpdateExact(const std::string& key, Version version,
                                    const Operation& op, UndoEntry* undo,
                                    Value* after_image) {
-  Shard& shard = ShardFor(key);
-  MutexLock lock(shard.mu);
-  Record& rec = shard.records[key];
+  const size_t hash = HashKey(key);
+  Shard& shard = ShardFor(hash);
+  SharedMutexLock lock(shard.mu);
+  auto it = shard.records.find(HashedKey{key, hash});
+  if (it == shard.records.end()) {
+    it = shard.records.emplace(key, Record{}).first;
+  }
+  Record& rec = it->second;
 
   // NC3V step 4: abort if the item already exists in a newer version (a
   // concurrent transaction of a later version has touched it; serializing
@@ -156,28 +318,35 @@ Status VersionedStore::UpdateExact(const std::string& key, Version version,
   op.ApplyTo(rec.versions[idx].second);
   if (after_image != nullptr) *after_image = rec.versions[idx].second;
   NoteVersionCount(rec.versions.size());
+  RefreshSlot(shard, hash, key, &rec);
   return Status::Ok();
 }
 
 void VersionedStore::Undo(const UndoEntry& undo) {
-  Shard& shard = ShardFor(undo.key);
-  MutexLock lock(shard.mu);
-  auto it = shard.records.find(undo.key);
+  const size_t hash = HashKey(undo.key);
+  Shard& shard = ShardFor(hash);
+  SharedMutexLock lock(shard.mu);
+  auto it = shard.records.find(HashedKey{undo.key, hash});
   if (it == shard.records.end()) return;
   Record& rec = it->second;
   int idx = rec.FindExact(undo.version);
   if (idx < 0) return;
   if (undo.created) {
     rec.versions.erase(rec.versions.begin() + idx);
-    if (rec.versions.empty()) shard.records.erase(it);
+    if (rec.versions.empty()) {
+      shard.records.erase(it);
+      RefreshSlot(shard, hash, undo.key, nullptr);
+      return;
+    }
   } else {
     rec.versions[idx].second = undo.prior;
   }
+  RefreshSlot(shard, hash, undo.key, &rec);
 }
 
 void VersionedStore::GarbageCollect(Version vr_new) {
   for (auto& shard : shards_) {
-    MutexLock lock(shard.mu);
+    SharedMutexLock lock(shard.mu);
     for (auto& [key, rec] : shard.records) {
       if (rec.FindExact(vr_new) >= 0) {
         // Drop every version older than vr_new.
@@ -195,15 +364,23 @@ void VersionedStore::GarbageCollect(Version vr_new) {
                              rec.versions.begin() + idx);
         }
       }
+      // Records usually collapse back to a single version here; republish
+      // so the advancement re-warms the lock-free read cache.
+      RefreshSlot(shard, HashKey(key), key, &rec);
     }
   }
 }
 
+// ---------------------------------------------------------------------------
+// Introspection
+// ---------------------------------------------------------------------------
+
 std::vector<Version> VersionedStore::VersionsOf(const std::string& key) const {
-  const Shard& shard = ShardFor(key);
-  MutexLock lock(shard.mu);
+  const size_t hash = HashKey(key);
+  const Shard& shard = ShardFor(hash);
+  ReaderMutexLock lock(shard.mu);
   std::vector<Version> out;
-  auto it = shard.records.find(key);
+  auto it = shard.records.find(HashedKey{key, hash});
   if (it != shard.records.end()) {
     for (const auto& [v, value] : it->second.versions) out.push_back(v);
   }
@@ -212,10 +389,11 @@ std::vector<Version> VersionedStore::VersionsOf(const std::string& key) const {
 
 std::map<Version, Value> VersionedStore::DumpItem(
     const std::string& key) const {
-  const Shard& shard = ShardFor(key);
-  MutexLock lock(shard.mu);
+  const size_t hash = HashKey(key);
+  const Shard& shard = ShardFor(hash);
+  ReaderMutexLock lock(shard.mu);
   std::map<Version, Value> out;
-  auto it = shard.records.find(key);
+  auto it = shard.records.find(HashedKey{key, hash});
   if (it != shard.records.end()) {
     for (const auto& [v, value] : it->second.versions) out[v] = value;
   }
@@ -226,7 +404,7 @@ std::vector<std::tuple<std::string, Version, Value>> VersionedStore::DumpAll()
     const {
   std::vector<std::tuple<std::string, Version, Value>> out;
   for (const auto& shard : shards_) {
-    MutexLock lock(shard.mu);
+    ReaderMutexLock lock(shard.mu);
     for (const auto& [key, rec] : shard.records) {
       for (const auto& [v, value] : rec.versions) {
         out.emplace_back(key, v, value);
@@ -243,7 +421,7 @@ std::vector<std::tuple<std::string, Version, Value>> VersionedStore::DumpAll()
 std::vector<std::string> VersionedStore::Keys() const {
   std::vector<std::string> out;
   for (const auto& shard : shards_) {
-    MutexLock lock(shard.mu);
+    ReaderMutexLock lock(shard.mu);
     for (const auto& [key, rec] : shard.records) out.push_back(key);
   }
   std::sort(out.begin(), out.end());
@@ -253,15 +431,10 @@ std::vector<std::string> VersionedStore::Keys() const {
 size_t VersionedStore::KeyCount() const {
   size_t n = 0;
   for (const auto& shard : shards_) {
-    MutexLock lock(shard.mu);
+    ReaderMutexLock lock(shard.mu);
     n += shard.records.size();
   }
   return n;
-}
-
-size_t VersionedStore::MaxVersionsObserved() const {
-  MutexLock lock(stats_mu_);
-  return max_versions_observed_;
 }
 
 }  // namespace threev

@@ -1,9 +1,12 @@
 #ifndef THREEV_STORAGE_VERSIONED_STORE_H_
 #define THREEV_STORAGE_VERSIONED_STORE_H_
 
+#include <atomic>
 #include <cstdint>
+#include <cstring>
 #include <map>
 #include <string>
+#include <string_view>
 #include <tuple>
 #include <unordered_map>
 #include <utility>
@@ -41,9 +44,19 @@ struct UndoEntry {
 //  * GarbageCollect(vr_new): for every item, if k(vr_new) exists drop all
 //    earlier versions, else relabel the latest earlier version as vr_new.
 //
-// Thread-safe via sharded mutexes; an update (check-create + apply) is one
-// atomic step per the paper's requirement. Tracks the maximum number of
-// simultaneous versions ever observed (the paper proves <= 3).
+// Concurrency model (DESIGN.md section 11): reads against the frozen `vr`
+// never take an exclusive lock. Each shard carries a reader/writer lock
+// (readers share, updates exclude), and on top of that a direct-mapped
+// seqlock "fast slot" table serves the steady-state hit - a small,
+// single-version value - entirely lock-free: writers publish a validated
+// snapshot of the record under the shard lock, readers copy it out with a
+// retry loop and fall back to the shared-lock path on any conflict. Keys
+// are hashed exactly once per operation; the same hash picks the shard,
+// the fast slot, and the bucket inside the shard map.
+//
+// An update (check-create + apply) remains one atomic step per the paper's
+// requirement. Tracks the maximum number of simultaneous versions ever
+// observed (the paper proves <= 3).
 class VersionedStore {
  public:
   // `metrics` (optional, unowned) receives copy-on-update accounting.
@@ -59,6 +72,14 @@ class VersionedStore {
   // Reads the maximum existing version of `key` not exceeding `max_version`.
   // NotFound if the key does not exist or has only newer versions.
   Result<Value> Read(const std::string& key, Version max_version) const;
+
+  // Copy-elision variant of Read for hot loops: assigns the result into
+  // `*out`, reusing its heap capacity across calls (no allocation when the
+  // value shape is stable). Same contract as Read; on NotFound `*out` is
+  // left unchanged (callers that pre-default it get read-as-empty-record
+  // semantics for free).
+  Status ReadInto(const std::string& key, Version max_version,
+                  Value* out) const;
 
   // Reads every key starting with `prefix`, each at its maximum existing
   // version not exceeding `max_version`; keys with no such version are
@@ -110,7 +131,9 @@ class VersionedStore {
 
   // Maximum number of simultaneous versions of any single item ever
   // observed on this store (the paper's bound is 3).
-  size_t MaxVersionsObserved() const EXCLUDES(stats_mu_);
+  size_t MaxVersionsObserved() const {
+    return max_versions_observed_.load(std::memory_order_relaxed);
+  }
 
  private:
   struct Record {
@@ -122,20 +145,130 @@ class VersionedStore {
     int FindExact(Version v) const;
   };
 
-  static constexpr size_t kNumShards = 16;
-  struct Shard {
-    mutable Mutex mu;
-    std::unordered_map<std::string, Record> records GUARDED_BY(mu);
+  // One-pass key hashing: FNV-1a computed once per public operation; the
+  // result selects the shard, the fast slot, and - via the transparent
+  // hasher below - the bucket inside the shard map, so the map never
+  // re-hashes the key bytes.
+  struct HashedKey {
+    std::string_view key;
+    size_t hash;
+  };
+  static size_t HashKey(std::string_view key) {
+    // Keys up to 16 bytes (the common account-id shape) hash branch-light:
+    // two possibly-overlapping 8-byte loads and two multiplies, no loop.
+    // Longer keys fall back to a word-at-a-time FNV walk. Both paths fold
+    // in the length (so prefix keys padded with NULs hash apart) and end
+    // with an xor-shift so the low bits - which pick the shard - depend on
+    // every input byte; bare FNV's low bits are degenerate under % 16.
+    const char* p = key.data();
+    size_t n = key.size();
+    constexpr uint64_t kPrime = 1099511628211ull;  // FNV prime
+    if (n <= 16) {
+      uint64_t a = 0, b = 0;
+      if (n >= 8) {
+        std::memcpy(&a, p, 8);
+        std::memcpy(&b, p + n - 8, 8);
+      } else if (n > 0) {
+        std::memcpy(&a, p, n);
+      }
+      uint64_t h = (a ^ 0x9e3779b97f4a7c15ull) * kPrime;
+      h = (h ^ b ^ (static_cast<uint64_t>(n) << 56)) * kPrime;
+      return static_cast<size_t>(h ^ (h >> 32));
+    }
+    uint64_t h = 1469598103934665603ull;  // FNV offset basis
+    while (n >= 8) {
+      uint64_t w;
+      std::memcpy(&w, p, 8);
+      h = (h ^ w) * kPrime;
+      p += 8;
+      n -= 8;
+    }
+    if (n > 0) {
+      uint64_t w = static_cast<uint64_t>(n) << 56;
+      std::memcpy(&w, p, n);
+      h = (h ^ w) * kPrime;
+    }
+    return static_cast<size_t>(h ^ (h >> 32));
+  }
+  struct KeyHash {
+    using is_transparent = void;
+    size_t operator()(const HashedKey& k) const { return k.hash; }
+    size_t operator()(const std::string& k) const { return HashKey(k); }
+  };
+  struct KeyEq {
+    using is_transparent = void;
+    bool operator()(const std::string& a, const std::string& b) const {
+      return a == b;
+    }
+    bool operator()(const HashedKey& a, const std::string& b) const {
+      return a.key == b;
+    }
+    bool operator()(const std::string& a, const HashedKey& b) const {
+      return a == b.key;
+    }
+  };
+  using RecordMap = std::unordered_map<std::string, Record, KeyHash, KeyEq>;
+
+  // Lock-free read cache: one direct-mapped seqlock slot per hash bucket.
+  // A slot holds a validated snapshot of a record in the steady state the
+  // paper's Theorem 4.2 makes common - exactly one version, small
+  // commuting-summary value - published by writers inside the shard's
+  // exclusive section. Readers copy the payload with relaxed atomic loads
+  // bracketed by the seqlock protocol (odd = write in progress; changed =
+  // torn read, retry), so the fast path is UB-free and tsan-clean: every
+  // cell is a std::atomic and the fences order payload against `seq`.
+  struct FastSlot {
+    static constexpr size_t kKeyWords = 6;  // inline key cap: 48 bytes
+    static constexpr size_t kStrWords = 4;  // inline payload cap: 32 bytes
+    static constexpr uint32_t kEmpty = 0;   // key_len 0 = unoccupied
+
+    std::atomic<uint32_t> seq{0};
+    // key_len | str_len << 8 (value `ids` must be empty to publish).
+    std::atomic<uint32_t> lens{kEmpty};
+    std::atomic<uint64_t> version{0};
+    std::atomic<int64_t> num{0};
+    std::atomic<uint64_t> key_words[kKeyWords] = {};
+    std::atomic<uint64_t> str_words[kStrWords] = {};
   };
 
-  Shard& ShardFor(const std::string& key);
-  const Shard& ShardFor(const std::string& key) const;
-  void NoteVersionCount(size_t n) EXCLUDES(stats_mu_);
+  static constexpr size_t kNumShards = 16;
+  static constexpr size_t kSlotsPerShard = 64;
+  struct Shard {
+    mutable SharedMutex mu;
+    RecordMap records GUARDED_BY(mu);
+    // Written only by exclusive holders of `mu`; read lock-free by the
+    // seqlock fast path (TryReadFast, the documented analysis opt-out).
+    FastSlot slots[kSlotsPerShard] GUARDED_BY(mu);
+  };
+
+  Shard& ShardFor(size_t hash) { return shards_[hash % kNumShards]; }
+  const Shard& ShardFor(size_t hash) const { return shards_[hash % kNumShards]; }
+  static size_t SlotIndex(size_t hash) {
+    // The low bits pick the shard; use an independent span for the slot.
+    return (hash >> 7) % kSlotsPerShard;
+  }
+
+  // Republishes or invalidates the fast slot for `key` after a record
+  // mutation. Must run inside the same exclusive section as the mutation
+  // so slot state never lags a released write.
+  void RefreshSlot(Shard& shard, size_t hash, std::string_view key,
+                   const Record* rec) REQUIRES(shard.mu);
+
+  // Seqlock fast path: returns true and fills `*out` iff the slot holds a
+  // validated snapshot for `key` usable at `max_version`.
+  bool TryReadFast(const Shard& shard, size_t hash, std::string_view key,
+                   Version max_version, Value* out) const;
+
+  void NoteVersionCount(size_t n) {
+    size_t cur = max_versions_observed_.load(std::memory_order_relaxed);
+    while (n > cur && !max_versions_observed_.compare_exchange_weak(
+                          cur, n, std::memory_order_relaxed)) {
+    }
+  }
 
   Metrics* metrics_;  // unowned, may be null
   Shard shards_[kNumShards];
-  mutable Mutex stats_mu_;
-  size_t max_versions_observed_ GUARDED_BY(stats_mu_) = 0;
+  std::atomic<size_t> max_versions_observed_{0};
 };
 
 }  // namespace threev

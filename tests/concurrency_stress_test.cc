@@ -10,6 +10,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <deque>
 #include <optional>
 #include <string>
 #include <thread>
@@ -86,6 +87,58 @@ TEST(ConcurrencyStressTest, BlockingQueueCloseRace) {
     consumer.join();
     EXPECT_EQ(popped.load(), accepted.load()) << "round " << round;
   }
+}
+
+// Batch-drain variant: producers race consumers that use PopAll(). Every
+// accepted item must surface in exactly one batch, the final PopAll after
+// Close() must come back empty, and nothing is lost or duplicated.
+TEST(ConcurrencyStressTest, BlockingQueuePopAllManyProducersManyConsumers) {
+  constexpr int kProducers = 4;
+  constexpr int kConsumers = 3;
+  constexpr int kPerProducer = 20'000;
+
+  BlockingQueue<int64_t> queue;
+  std::atomic<int64_t> accepted_sum{0};
+  std::atomic<int64_t> popped_sum{0};
+  std::atomic<int64_t> popped_count{0};
+  std::atomic<int64_t> batches{0};
+
+  std::vector<std::thread> consumers;
+  for (int c = 0; c < kConsumers; ++c) {
+    consumers.emplace_back([&] {
+      for (;;) {
+        std::deque<int64_t> batch = queue.PopAll();
+        if (batch.empty()) return;  // closed and drained
+        batches.fetch_add(1, std::memory_order_relaxed);
+        for (int64_t v : batch) {
+          popped_sum.fetch_add(v, std::memory_order_relaxed);
+          popped_count.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        int64_t v = static_cast<int64_t>(p) * kPerProducer + i + 1;
+        if (queue.Push(v)) {
+          accepted_sum.fetch_add(v, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  queue.Close();
+  for (auto& t : consumers) t.join();
+
+  EXPECT_EQ(popped_count.load(), kProducers * kPerProducer);
+  EXPECT_EQ(popped_sum.load(), accepted_sum.load());
+  // Sanity on the batch accounting (no strict ratio asserted - a fully
+  // lockstepped scheduler could legally produce singleton batches).
+  EXPECT_GT(batches.load(), 0);
+  EXPECT_LE(batches.load(), popped_count.load());
+  EXPECT_EQ(queue.size(), 0u);
 }
 
 // Concurrent Record() from many threads; totals must be exact after joins.
@@ -238,6 +291,98 @@ TEST(ConcurrencyStressTest, VersionedStoreConcurrentReadWrite) {
     total += v->num;
   }
   EXPECT_EQ(total, static_cast<int64_t>(kWriters) * kOpsPerWriter);
+  EXPECT_LE(store.MaxVersionsObserved(), kMaxSimultaneousVersions);
+}
+
+// Hammers the lock-free fast-slot read path specifically: every key here is
+// slot-eligible (single version, short key, no ids, str <= 32 bytes), so
+// ReadInto serves from the seqlock slots while writers refresh them and a
+// GC thread re-warms every slot under the exclusive lock. Three invariants:
+//   1. num keys: monotone running sums, exact total at the end (lost update
+//      = shard locking bug).
+//   2. str keys: writers only ever store uniform-character strings, so any
+//      mixed-character or over-long string observed by a reader is a torn
+//      seqlock read escaping validation.
+//   3. NotFound never surfaces for seeded keys (a slot mismatch must fall
+//      back to the locked map, not fabricate a miss).
+TEST(ConcurrencyStressTest, VersionedStoreFastSlotReadersVsWritersAndGC) {
+  constexpr int kWriters = 2;
+  constexpr int kReaders = 4;
+  constexpr int kNumKeys = 8;
+  constexpr int kStrKeys = 4;
+  constexpr int kOpsPerWriter = 4'000;
+
+  VersionedStore store;
+  for (int k = 0; k < kNumKeys; ++k) {
+    store.Seed("hot" + std::to_string(k), Value{}, /*version=*/1);
+  }
+  for (int k = 0; k < kStrKeys; ++k) {
+    store.Seed("str" + std::to_string(k), Value{}, /*version=*/1);
+  }
+  std::atomic<bool> stop{false};
+
+  std::vector<std::thread> writers;
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&, w] {
+      for (int i = 0; i < kOpsPerWriter; ++i) {
+        Operation add;
+        add.kind = OpKind::kAdd;
+        add.key = "hot" + std::to_string((w + i) % kNumKeys);
+        add.arg = 1;
+        ASSERT_TRUE(store.Update(add.key, /*version=*/1, add).ok());
+        // Uniform-character payload, length 0..32: stays slot-eligible and
+        // makes torn string reads detectable.
+        Operation put;
+        put.kind = OpKind::kPut;
+        put.key = "str" + std::to_string(i % kStrKeys);
+        put.payload = std::string(i % 33, static_cast<char>('a' + (i % 8)));
+        ASSERT_TRUE(store.Update(put.key, /*version=*/1, put).ok());
+      }
+    });
+  }
+  // GC takes every shard's exclusive lock and refreshes every slot; racing
+  // it against readers is the seqlock's worst case.
+  std::thread gc([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      store.GarbageCollect(/*vr_new=*/1);
+    }
+  });
+  std::vector<std::thread> readers;
+  for (int r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&] {
+      Value v;  // reused across calls, like the protocol layer does
+      while (!stop.load(std::memory_order_relaxed)) {
+        for (int k = 0; k < kNumKeys; ++k) {
+          Status s =
+              store.ReadInto("hot" + std::to_string(k), /*max_version=*/1, &v);
+          ASSERT_TRUE(s.ok());
+          ASSERT_GE(v.num, 0);
+          ASSERT_LE(v.num, int64_t{kWriters} * kOpsPerWriter);
+        }
+        for (int k = 0; k < kStrKeys; ++k) {
+          Status s =
+              store.ReadInto("str" + std::to_string(k), /*max_version=*/1, &v);
+          ASSERT_TRUE(s.ok());
+          ASSERT_LE(v.str.size(), 32u);
+          for (char c : v.str) {
+            ASSERT_EQ(c, v.str[0]) << "torn string read";
+          }
+        }
+      }
+    });
+  }
+  for (auto& t : writers) t.join();
+  stop.store(true, std::memory_order_relaxed);
+  gc.join();
+  for (auto& t : readers) t.join();
+
+  int64_t total = 0;
+  for (int k = 0; k < kNumKeys; ++k) {
+    auto v = store.Read("hot" + std::to_string(k), /*max_version=*/1);
+    ASSERT_TRUE(v.ok());
+    total += v->num;
+  }
+  EXPECT_EQ(total, int64_t{kWriters} * kOpsPerWriter);
   EXPECT_LE(store.MaxVersionsObserved(), kMaxSimultaneousVersions);
 }
 

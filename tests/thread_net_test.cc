@@ -143,6 +143,45 @@ TEST(ThreadNetTest, MixedNonCommutingLoadResolves) {
   }
 }
 
+// workers_per_endpoint > 1: the mailbox feeds several handler threads. The
+// handler must be thread-safe (atomics here); every message is delivered
+// exactly once, and under a blocking handler the extra workers actually run
+// concurrently (with one worker the deliberate sleeps would serialize and
+// blow the deadline).
+TEST(ThreadNetTest, MultiWorkerEndpointDeliversAllConcurrently) {
+  ThreadNet net(ThreadNetOptions{.workers_per_endpoint = 4});
+  constexpr int kMessages = 64;
+  std::atomic<int64_t> sum{0};
+  std::atomic<int> in_flight{0};
+  std::atomic<int> max_in_flight{0};
+  WaitGroup wg;
+  wg.Add(kMessages);
+  net.RegisterEndpoint(0, [&](const Message& m) {
+    int now = in_flight.fetch_add(1, std::memory_order_acq_rel) + 1;
+    int prev = max_in_flight.load(std::memory_order_relaxed);
+    while (now > prev &&
+           !max_in_flight.compare_exchange_weak(prev, now,
+                                                std::memory_order_relaxed)) {
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    sum.fetch_add(static_cast<int64_t>(m.seq), std::memory_order_relaxed);
+    in_flight.fetch_sub(1, std::memory_order_acq_rel);
+    wg.Done();
+  });
+  net.Start();
+  for (int i = 0; i < kMessages; ++i) {
+    Message m;
+    m.type = MsgType::kClientSubmit;
+    m.seq = i + 1;
+    net.Send(0, m);
+  }
+  // 64 x 5ms serialized would be ~320ms; four workers keep it well under.
+  ASSERT_TRUE(wg.WaitFor(std::chrono::milliseconds(10'000)));
+  net.Stop();
+  EXPECT_EQ(sum.load(), int64_t{kMessages} * (kMessages + 1) / 2);
+  EXPECT_GT(max_in_flight.load(), 1) << "workers never overlapped";
+}
+
 TEST(ThreadNetTest, DeliveryDelayStillFifo) {
   ThreadNet net(ThreadNetOptions{.delivery_delay = 500});
   std::vector<int> order;

@@ -3,6 +3,8 @@
 // garbage - a TCP peer can feed arbitrary frames.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "threev/common/random.h"
 #include "threev/durability/wal.h"
 #include "threev/net/wire.h"
@@ -67,9 +69,16 @@ Message RandomMessage(Rng& rng) {
 
 TEST(WireFuzzTest, RandomMessagesRoundTrip) {
   Rng rng(101);
+  std::vector<uint8_t> reused;
   for (int i = 0; i < 500; ++i) {
     Message m = RandomMessage(rng);
     std::vector<uint8_t> buf = EncodeMessage(m);
+    // TcpNet writes EncodedMessageSize as the frame length before encoding
+    // the payload, so the pre-pass must match the encoder byte-for-byte.
+    ASSERT_EQ(buf.size(), EncodedMessageSize(m)) << "iteration " << i;
+    // The buffer-reusing encode path must produce identical bytes.
+    EncodeMessageInto(m, &reused);
+    ASSERT_EQ(reused, buf) << "iteration " << i;
     Result<Message> decoded = DecodeMessage(buf.data(), buf.size());
     ASSERT_TRUE(decoded.ok()) << "iteration " << i;
     // Spot-check a few invariant fields.
@@ -78,6 +87,37 @@ TEST(WireFuzzTest, RandomMessagesRoundTrip) {
     EXPECT_EQ(decoded->reads.size(), m.reads.size());
     EXPECT_EQ(decoded->status_msg, m.status_msg);
   }
+}
+
+// Regression: decoders used to reserve() whatever element count the frame
+// declared. A frame claiming ~4 billion ids in a few dozen bytes must fail
+// as truncated without attempting a multi-gigabyte allocation (reserves are
+// now capped by remaining-bytes / min-element-size).
+TEST(WireFuzzTest, HugeDeclaredCountNeverOverAllocates) {
+  Message m;
+  m.type = MsgType::kCompletionNotice;
+  m.txn = 7;
+  Value v;
+  v.num = 42;
+  v.ids = {1, 2, 3};
+  m.reads.emplace_back("acct", v);
+  std::vector<uint8_t> buf = EncodeMessage(m);
+
+  // Locate the ids count prefix: u32 3 followed by u64 1, u64 2, u64 3.
+  const uint8_t pattern[] = {3, 0, 0, 0,                          // count
+                             1, 0, 0, 0, 0, 0, 0, 0,              // id 1
+                             2, 0, 0, 0, 0, 0, 0, 0,              // id 2
+                             3, 0, 0, 0, 0, 0, 0, 0};             // id 3
+  auto it = std::search(buf.begin(), buf.end(), std::begin(pattern),
+                        std::end(pattern));
+  ASSERT_NE(it, buf.end());
+  it[0] = 0xFF;
+  it[1] = 0xFF;
+  it[2] = 0xFF;
+  it[3] = 0xFF;
+
+  Result<Message> decoded = DecodeMessage(buf.data(), buf.size());
+  EXPECT_FALSE(decoded.ok());  // and did not try to reserve 32 GiB
 }
 
 TEST(WireFuzzTest, TruncationsNeverCrash) {

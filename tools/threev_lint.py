@@ -37,6 +37,12 @@ analysis can express, because they live above the type system:
                      capability, so using it anywhere else punches a hole in
                      the -Wthread-safety tier.
 
+  analysis-optout    Every NO_THREAD_SAFETY_ANALYSIS carries an adjacent
+                     `// SAFETY:` comment stating why the unsynchronized
+                     access is sound. The seqlock read path in
+                     VersionedStore is the documented, load-bearing opt-out
+                     this rule exists to keep honest.
+
 Usage:
   tools/threev_lint.py [--root REPO_ROOT]   lint the tree (exit 1 on findings)
   tools/threev_lint.py --self-test          run the seeded-violation tests
@@ -238,7 +244,8 @@ BLOCKING_PATTERNS = [
 ]
 
 GUARD_RE = re.compile(
-    r"\b(?:MutexLock|std::lock_guard\s*<[^>]*>|std::unique_lock\s*<[^>]*>|"
+    r"\b(?:MutexLock|ReaderMutexLock|SharedMutexLock|"
+    r"std::lock_guard\s*<[^>]*>|std::unique_lock\s*<[^>]*>|"
     r"std::scoped_lock(?:\s*<[^>]*>)?)\s+\w+\s*[({]")
 
 
@@ -384,12 +391,52 @@ def check_capability(files):
     return findings
 
 
+# ---------------------------------------------------------------------------
+# Rule: documented analysis opt-outs
+# ---------------------------------------------------------------------------
+#
+# NO_THREAD_SAFETY_ANALYSIS is a hole in the -Wthread-safety tier, but some
+# holes are load-bearing: the VersionedStore seqlock read path reads
+# GUARDED_BY cells without the lock *by design*, with its own validation
+# protocol (every cell atomic, seq re-check, locked fallback). The rule is
+# not "never opt out" - it is "every opt-out carries its safety argument":
+# the macro must have a `SAFETY:` comment within the preceding few lines
+# explaining why the unsynchronized access is sound.
+
+OPTOUT_MACRO = "NO_THREAD_SAFETY_ANALYSIS"
+OPTOUT_EXCLUDE = {"src/threev/common/thread_annotations.h"}
+OPTOUT_LOOKBACK_LINES = 12
+
+
+def check_analysis_optout(files):
+    findings = []
+    for f in files:
+        rel = f.path.replace(os.sep, "/")
+        if rel in OPTOUT_EXCLUDE:
+            continue
+        # Search the raw text: the justification lives in comments, which the
+        # stripped view deliberately blanks out.
+        for m in re.finditer(r"\b" + OPTOUT_MACRO + r"\b", f.text):
+            line = f.line_of(m.start())
+            lines = f.text.split("\n")
+            lookback = "\n".join(
+                lines[max(0, line - 1 - OPTOUT_LOOKBACK_LINES):line])
+            if "SAFETY:" not in lookback:
+                findings.append(Finding(
+                    "analysis-optout", f.path, line,
+                    f"{OPTOUT_MACRO} without an adjacent `// SAFETY:` comment;"
+                    " every opt-out must state why the unsynchronized access"
+                    " is sound (see the seqlock read path for the pattern)"))
+    return findings
+
+
 RULES = [
     check_wire_symmetry,
     check_lock_blocking,
     check_version_arith,
     check_determinism,
     check_capability,
+    check_analysis_optout,
 ]
 
 
@@ -572,6 +619,42 @@ void ThreadNet::TimerLoop() {
     wrapper = _mkfile("src/threev/common/mutex.h", "std::mutex mu_;\n")
     expect("wrapper file exempt", check_capability([wrapper]),
            "capability", False)
+
+    # --- lock blocking: shared/reader guards count as guards --------------
+    bad_reader = _mkfile("src/threev/storage/versioned_store.cc", """
+void VersionedStore::Bad() {
+  ReaderMutexLock lock(shard.mu);
+  network_->Send(0, std::move(m));
+}
+""")
+    expect("send under reader lock", check_lock_blocking([bad_reader]),
+           "lock-blocking", True)
+    bad_shared = _mkfile("src/threev/storage/versioned_store.cc", """
+void VersionedStore::Bad2() {
+  SharedMutexLock lock(shard.mu);
+  fsync(fd);
+}
+""")
+    expect("fsync under shared lock", check_lock_blocking([bad_shared]),
+           "lock-blocking", True)
+
+    # --- analysis opt-out documentation -----------------------------------
+    bad_optout = _mkfile("src/threev/storage/store.h",
+                         "bool TryReadFast() NO_THREAD_SAFETY_ANALYSIS;\n")
+    expect("undocumented opt-out", check_analysis_optout([bad_optout]),
+           "analysis-optout", True)
+    good_optout = _mkfile(
+        "src/threev/storage/store.h",
+        "// SAFETY: seqlock-validated snapshot; all cells are atomics and a\n"
+        "// torn read is retried or handed to the locked fallback.\n"
+        "bool TryReadFast() NO_THREAD_SAFETY_ANALYSIS;\n")
+    expect("documented opt-out", check_analysis_optout([good_optout]),
+           "analysis-optout", False)
+    macro_def = _mkfile("src/threev/common/thread_annotations.h",
+                        "#define NO_THREAD_SAFETY_ANALYSIS \\\n"
+                        "  THREEV_THREAD_ANNOTATION(no_thread_safety_analysis)\n")
+    expect("macro definition site exempt", check_analysis_optout([macro_def]),
+           "analysis-optout", False)
 
     # --- stripping machinery ---------------------------------------------
     stripped = strip_comments_and_strings(
