@@ -25,6 +25,7 @@
 #include "threev/metrics/histogram.h"
 #include "threev/net/wire.h"
 #include "threev/storage/versioned_store.h"
+#include "threev/trace/trace.h"
 
 namespace threev {
 namespace bench {
@@ -136,6 +137,46 @@ HotpathResult BenchStoreReadIntoHot(size_t threads, int64_t batches) {
     }
   };
   return RunThreads("store_read_into_hot", threads, batches, lat, body);
+}
+
+// store_read_into_hot with a disabled Tracer consulted per op - the exact
+// `tracer != nullptr && tracer->enabled()` idiom every instrumentation site
+// in node.cc compiles to. The delta against store_read_into_hot is the
+// whole cost of shipping tracing support (one relaxed load + branch);
+// Main() asserts in-process that it stays within noise, so a regression
+// here (e.g. an accidentally unconditional Record()) fails the run rather
+// than silently taxing the hot path.
+HotpathResult BenchStoreReadIntoTracedOff(size_t threads, int64_t batches) {
+  VersionedStore store;
+  std::vector<std::string> keys;
+  SeedStore(store, 64, keys);
+  Histogram lat;
+  Tracer gate;  // never enabled: the disabled branch is the measurement
+  Tracer* tracer = &gate;
+  auto body = [&](size_t tid) {
+    // Same seeds as store_read_into_hot: identical access pattern, so the
+    // two rows differ only by the gate check.
+    Rng rng(3000 + tid);
+    std::vector<size_t> order(1024);
+    for (auto& i : order) i = rng.Uniform(keys.size());
+    size_t pos = 0;
+    Value v;
+    for (int64_t b = 0; b < batches; ++b) {
+      Clock::time_point t0 = Clock::now();
+      int64_t sink = 0;
+      for (int i = 0; i < kBatch; ++i) {
+        if (store.ReadInto(keys[order[pos]], 1, &v).ok()) sink += v.num;
+        if (tracer != nullptr && tracer->enabled()) {
+          tracer->Instant(sink, 0, TraceOp::kTask, TraceContext{}, 0);
+        }
+        pos = (pos + 1) & 1023;
+      }
+      lat.Record(ElapsedNs(t0) / kBatch);
+      if (sink == -1) std::abort();
+    }
+  };
+  return RunThreads("store_read_into_traced_off", threads, batches, lat,
+                    body);
 }
 
 // Single-threaded uniform reads over a larger key set: the per-read cost
@@ -378,16 +419,26 @@ void PrintRow(const HotpathResult& r) {
               static_cast<long long>(r.p99_ns));
 }
 
+int64_t NowMicros() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             Clock::now().time_since_epoch())
+      .count();
+}
+
 int Main(int argc, char** argv) {
   bool quick = false;
   std::string out_path = "BENCH_hotpath.json";
+  std::string trace_out;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--quick") == 0) {
       quick = true;
     } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
       out_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc) {
+      trace_out = argv[++i];
     } else {
-      std::fprintf(stderr, "usage: %s [--quick] [--out FILE]\n", argv[0]);
+      std::fprintf(stderr, "usage: %s [--quick] [--out FILE] "
+                   "[--trace-out FILE]\n", argv[0]);
       return 2;
     }
   }
@@ -396,32 +447,70 @@ int Main(int argc, char** argv) {
   const size_t hw = std::thread::hardware_concurrency();
   const size_t read_threads = hw >= 4 ? 4 : (hw >= 2 ? 2 : 1);
 
+  // With --trace-out each row runs inside a kTask span (args.arg = row
+  // index), so the harness itself demos the flight recorder end-to-end and
+  // CI archives a schema-checked trace alongside the bench JSON.
+  Tracer tracer;
+  tracer.set_enabled(!trace_out.empty());
+  if (tracer.enabled()) tracer.SetTrackName(0, "bench_hotpath");
+
   PrintHeader("hot-path microbenchmarks (store read / wire codec / queue)");
   std::vector<HotpathResult> results;
-  results.push_back(BenchStoreReadHot(read_threads, scale));
-  PrintRow(results.back());
-  results.push_back(BenchStoreReadIntoHot(read_threads, scale));
-  PrintRow(results.back());
-  results.push_back(BenchStoreReadSpread(scale));
-  PrintRow(results.back());
-  results.push_back(BenchStoreReadWhileWrite(read_threads, scale / 2));
-  PrintRow(results.back());
-  results.push_back(BenchWireEncode(scale / 4));
-  PrintRow(results.back());
-  results.push_back(BenchWireEncodePooled(scale / 4));
-  PrintRow(results.back());
-  results.push_back(BenchWireDecode(scale / 4));
-  PrintRow(results.back());
-  results.push_back(BenchQueueDrain(3, scale));
-  PrintRow(results.back());
-  results.push_back(BenchQueueDrainPopAll(3, scale));
-  PrintRow(results.back());
+  auto run = [&](const std::function<HotpathResult()>& fn) {
+    TraceContext span;
+    if (tracer.enabled()) {
+      span = tracer.BeginSpan(NowMicros(), 0, TraceOp::kTask, TraceContext{},
+                              static_cast<int64_t>(results.size()));
+    }
+    results.push_back(fn());
+    if (tracer.enabled()) {
+      tracer.EndSpan(NowMicros(), 0, TraceOp::kTask, span);
+    }
+    PrintRow(results.back());
+  };
+  run([&] { return BenchStoreReadHot(read_threads, scale); });
+  run([&] { return BenchStoreReadIntoHot(read_threads, scale); });
+  run([&] { return BenchStoreReadIntoTracedOff(read_threads, scale); });
+  run([&] { return BenchStoreReadSpread(scale); });
+  run([&] { return BenchStoreReadWhileWrite(read_threads, scale / 2); });
+  run([&] { return BenchWireEncode(scale / 4); });
+  run([&] { return BenchWireEncodePooled(scale / 4); });
+  run([&] { return BenchWireDecode(scale / 4); });
+  run([&] { return BenchQueueDrain(3, scale); });
+  run([&] { return BenchQueueDrainPopAll(3, scale); });
 
   if (!WriteHotpathJson(out_path, quick, results)) {
     std::fprintf(stderr, "failed to write %s\n", out_path.c_str());
     return 1;
   }
   if (out_path != "-") std::printf("wrote %s\n", out_path.c_str());
+  if (!trace_out.empty()) {
+    if (!tracer.WriteChromeJson(trace_out)) {
+      std::fprintf(stderr, "failed to write %s\n", trace_out.c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", trace_out.c_str());
+  }
+
+  // Disabled-tracing gate: the instrumented row may not fall outside noise
+  // of the plain one. The enabled() check is one relaxed load + branch
+  // (~1ns against a ~15ns read), so 2x throughput headroom is far beyond
+  // shared-runner noise yet still catches an accidentally unconditional
+  // Record() (ticket fetch_add + 8 atomic stores per op).
+  const HotpathResult* plain = nullptr;
+  const HotpathResult* gated = nullptr;
+  for (const auto& r : results) {
+    if (r.name == "store_read_into_hot") plain = &r;
+    if (r.name == "store_read_into_traced_off") gated = &r;
+  }
+  if (plain != nullptr && gated != nullptr &&
+      gated->throughput_ops() * 2.0 < plain->throughput_ops()) {
+    std::fprintf(stderr,
+                 "tracing overhead out of noise: store_read_into_traced_off "
+                 "%.0f ops/s vs store_read_into_hot %.0f ops/s\n",
+                 gated->throughput_ops(), plain->throughput_ops());
+    return 1;
+  }
   return 0;
 }
 

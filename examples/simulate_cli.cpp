@@ -33,6 +33,7 @@ struct Flags {
   long safety_delay = 5'000;
   double abort_rate = 0.0;
   uint64_t seed = 1;
+  std::string trace_out;  // flight-recorder dump path; empty = tracing off
   bool help = false;
 };
 
@@ -75,6 +76,8 @@ Flags ParseFlags(int argc, char** argv) {
       flags.abort_rate = std::stod(v);
     } else if (ParseFlag(argv[i], "--seed", &v)) {
       flags.seed = std::stoull(v);
+    } else if (ParseFlag(argv[i], "--trace-out", &v)) {
+      flags.trace_out = v;
     } else {
       flags.help = true;
     }
@@ -99,13 +102,15 @@ int main(int argc, char** argv) {
         "  [--nodes=N] [--txns=N] [--interarrival=USEC] [--seed=N]\n"
         "  [--read-fraction=F] [--nc-fraction=F] [--zipf=F] [--entities=N]\n"
         "  [--fanout=N] [--advance-period=USEC|0] [--safety-delay=USEC]\n"
-        "  [--abort-rate=F]\n");
+        "  [--abort-rate=F] [--trace-out=PATH.json]\n");
     return 2;
   }
 
   Metrics metrics;
   HistoryRecorder history;
-  SimNet net(SimNetOptions{.seed = flags.seed}, &metrics);
+  Tracer tracer;
+  tracer.set_enabled(!flags.trace_out.empty());
+  SimNet net(SimNetOptions{.seed = flags.seed, .tracer = &tracer}, &metrics);
   SystemConfig config;
   config.kind = KindOf(flags.system);
   config.num_nodes = flags.nodes;
@@ -113,6 +118,7 @@ int main(int argc, char** argv) {
   config.mixed_workload = flags.nc_fraction > 0;
   config.manual_safety_delay = flags.safety_delay;
   config.inject_abort_probability = flags.abort_rate;
+  config.tracer = &tracer;
   auto system = MakeSystem(config, &net, &metrics, &history);
   if (flags.advance_period > 0) {
     system->EnableAutoAdvance(flags.advance_period);
@@ -150,5 +156,14 @@ int main(int argc, char** argv) {
   }
   Status invariants = system->CheckInvariants();
   std::printf("invariants: %s\n", invariants.ToString().c_str());
+  if (!flags.trace_out.empty()) {
+    if (!tracer.WriteChromeJson(flags.trace_out)) {
+      std::fprintf(stderr, "failed to write trace to %s\n",
+                   flags.trace_out.c_str());
+      return 1;
+    }
+    std::printf("trace: %s (%llu records dropped)\n", flags.trace_out.c_str(),
+                static_cast<unsigned long long>(tracer.dropped()));
+  }
   return 0;
 }

@@ -120,6 +120,7 @@ std::unique_ptr<System> MakeSystem(const SystemConfig& config,
       options.inject_abort_probability = config.inject_abort_probability;
       options.coordinator_poll_interval = config.coordinator_poll_interval;
       options.seed = config.seed;
+      options.tracer = config.tracer;
       return std::make_unique<ClusterSystem>(config.kind, options, network,
                                              metrics, history);
     }
@@ -131,6 +132,7 @@ std::unique_ptr<System> MakeSystem(const SystemConfig& config,
       options.nc_lock_timeout = config.nc_lock_timeout;
       options.coordinator_poll_interval = config.coordinator_poll_interval;
       options.seed = config.seed;
+      options.tracer = config.tracer;
       return std::make_unique<ClusterSystem>(config.kind, options, network,
                                              metrics, history);
     }
@@ -141,6 +143,7 @@ std::unique_ptr<System> MakeSystem(const SystemConfig& config,
       options.read_policy = ReadPolicy::kCurrentVersion;
       options.inject_abort_probability = config.inject_abort_probability;
       options.seed = config.seed;
+      options.tracer = config.tracer;
       return std::make_unique<ClusterSystem>(config.kind, options, network,
                                              metrics, history);
     }

@@ -42,6 +42,10 @@ struct SystemConfig {
   Micros coordinator_poll_interval = 2000;
   Micros manual_safety_delay = 50'000;
   double inject_abort_probability = 0.0;
+  // Observability: cluster-based strategies (3V, GlobalSync, NoCoord) record
+  // spans into this flight recorder when non-null. Unowned. The manual-
+  // versioning baseline predates the span taxonomy and ignores it.
+  Tracer* tracer = nullptr;
 };
 
 // Uniform driver facade over the four strategies so workloads and benches

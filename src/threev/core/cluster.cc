@@ -1,5 +1,7 @@
 #include "threev/core/cluster.h"
 
+#include <algorithm>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -8,15 +10,25 @@
 namespace threev {
 
 void Client::HandleMessage(const Message& msg) {
+  if (msg.type == MsgType::kAdminInspectReply) {
+    InspectCallback cb;
+    {
+      MutexLock lock(mu_);
+      auto it = inspect_inflight_.find(msg.seq);
+      if (it == inspect_inflight_.end()) return;
+      cb = std::move(it->second);
+      inspect_inflight_.erase(it);
+    }
+    if (cb) cb(InspectionFromReply(msg));
+    return;
+  }
   if (msg.type != MsgType::kClientResult) return;
-  ResultCallback cb;
-  Micros submit_time = 0;
+  PendingResult pending;
   {
     MutexLock lock(mu_);
     auto it = inflight_.find(msg.seq);
     if (it == inflight_.end()) return;
-    cb = std::move(it->second.first);
-    submit_time = it->second.second;
+    pending = std::move(it->second);
     inflight_.erase(it);
   }
   TxnResult result;
@@ -24,18 +36,32 @@ void Client::HandleMessage(const Message& msg) {
   result.status = Status(msg.status_code, msg.status_msg);
   result.version = msg.version;
   for (const auto& [key, value] : msg.reads) result.reads[key] = value;
-  result.submit_time = submit_time;
+  result.submit_time = pending.submit_time;
   result.complete_time = network_->Now();
-  if (cb) cb(result);
+  if (tracer_ != nullptr && tracer_->enabled()) {
+    tracer_->EndSpan(result.complete_time, id_, TraceOp::kClientRequest,
+                     pending.trace, result.status.ok() ? 1 : 0);
+  }
+  if (pending.cb) pending.cb(result);
 }
 
 uint64_t Client::Submit(NodeId origin, const TxnSpec& spec,
                         ResultCallback cb) {
   uint64_t seq;
+  Micros now = network_->Now();
+  TraceContext trace;
+  if (tracer_ != nullptr && tracer_->enabled()) {
+    trace = tracer_->BeginSpan(now, id_, TraceOp::kClientRequest,
+                               TraceContext{});
+  }
   {
     MutexLock lock(mu_);
     seq = next_seq_++;
-    inflight_.emplace(seq, std::make_pair(std::move(cb), network_->Now()));
+    PendingResult pending;
+    pending.cb = std::move(cb);
+    pending.submit_time = now;
+    pending.trace = trace;
+    inflight_.emplace(seq, std::move(pending));
   }
   Message m;
   m.type = MsgType::kClientSubmit;
@@ -44,13 +70,29 @@ uint64_t Client::Submit(NodeId origin, const TxnSpec& spec,
   m.flag = spec.read_only;
   m.klass = static_cast<uint8_t>(spec.klass);
   m.plan = spec.root;
+  m.trace = trace;
   network_->Send(origin, std::move(m));
+  return seq;
+}
+
+uint64_t Client::Inspect(NodeId target, InspectCallback cb) {
+  uint64_t seq;
+  {
+    MutexLock lock(mu_);
+    seq = next_seq_++;
+    inspect_inflight_.emplace(seq, std::move(cb));
+  }
+  Message m;
+  m.type = MsgType::kAdminInspect;
+  m.from = id_;
+  m.seq = seq;
+  network_->Send(target, std::move(m));
   return seq;
 }
 
 size_t Client::InFlight() const {
   MutexLock lock(mu_);
-  return inflight_.size();
+  return inflight_.size() + inspect_inflight_.size();
 }
 
 Cluster::Cluster(const ClusterOptions& options, Network* network,
@@ -74,16 +116,26 @@ Cluster::Cluster(const ClusterOptions& options, Network* network,
   coord_options.num_nodes = options.num_nodes;
   coord_options.poll_interval = options.coordinator_poll_interval;
   coord_options.retry_interval = options.coordinator_retry_interval;
+  coord_options.tracer = options.tracer;
   coordinator_ = std::make_unique<AdvanceCoordinator>(coord_options, network,
                                                       metrics, history);
   AdvanceCoordinator* coord = coordinator_.get();
   network->RegisterEndpoint(
       coordinator_id(), [coord](const Message& m) { coord->HandleMessage(m); });
 
-  client_ = std::make_unique<Client>(client_id(), network);
+  client_ = std::make_unique<Client>(client_id(), network, options.tracer);
   Client* client = client_.get();
   network->RegisterEndpoint(
       client_id(), [client](const Message& m) { client->HandleMessage(m); });
+
+  if (options.tracer != nullptr) {
+    for (size_t i = 0; i < options.num_nodes; ++i) {
+      options.tracer->SetTrackName(static_cast<NodeId>(i),
+                                   "node-" + std::to_string(i));
+    }
+    options.tracer->SetTrackName(coordinator_id(), "coordinator");
+    options.tracer->SetTrackName(client_id(), "client");
+  }
 }
 
 NodeOptions Cluster::MakeNodeOptions(size_t i) const {
@@ -101,6 +153,7 @@ NodeOptions Cluster::MakeNodeOptions(size_t i) const {
     node_options.wal_segment_bytes = options_.wal_segment_bytes;
   }
   node_options.twopc_retry_interval = options_.twopc_retry_interval;
+  node_options.tracer = options_.tracer;
   return node_options;
 }
 
@@ -185,6 +238,46 @@ Status Cluster::CheckpointAll() {
 uint64_t Cluster::Submit(NodeId origin, const TxnSpec& spec,
                          Client::ResultCallback cb) {
   return client_->Submit(origin, spec, std::move(cb));
+}
+
+void Cluster::InspectAll(
+    std::function<void(std::vector<NodeInspection>)> done) {
+  std::vector<NodeId> targets;
+  {
+    MutexLock lock(mu_);
+    for (size_t i = 0; i < nodes_.size(); ++i) {
+      if (nodes_[i] != nullptr) targets.push_back(static_cast<NodeId>(i));
+    }
+  }
+  targets.push_back(coordinator_id());
+
+  // Shared aggregation state; the last reply fires `done`. Replies arrive
+  // on whatever thread drives the network, hence the mutex.
+  struct Gather {
+    Mutex mu;
+    std::vector<NodeInspection> replies;
+    size_t remaining = 0;
+  };
+  auto gather = std::make_shared<Gather>();
+  gather->remaining = targets.size();
+  auto finish = std::move(done);
+  for (NodeId target : targets) {
+    client_->Inspect(target, [gather, finish](const NodeInspection& insp) {
+      bool last = false;
+      {
+        MutexLock lock(gather->mu);
+        gather->replies.push_back(insp);
+        last = --gather->remaining == 0;
+        if (last) {
+          std::sort(gather->replies.begin(), gather->replies.end(),
+                    [](const NodeInspection& a, const NodeInspection& b) {
+                      return a.node < b.node;
+                    });
+        }
+      }
+      if (last && finish) finish(std::move(gather->replies));
+    });
+  }
 }
 
 Status Cluster::CheckInvariants() const {

@@ -13,6 +13,7 @@
 #include "threev/core/node.h"
 #include "threev/metrics/metrics.h"
 #include "threev/net/network.h"
+#include "threev/trace/introspect.h"
 #include "threev/txn/plan.h"
 #include "threev/verify/history.h"
 
@@ -24,8 +25,10 @@ namespace threev {
 class Client {
  public:
   using ResultCallback = std::function<void(const TxnResult&)>;
+  using InspectCallback = std::function<void(const NodeInspection&)>;
 
-  Client(NodeId id, Network* network) : id_(id), network_(network) {}
+  Client(NodeId id, Network* network, Tracer* tracer = nullptr)
+      : id_(id), network_(network), tracer_(tracer) {}
 
   NodeId id() const { return id_; }
 
@@ -35,7 +38,8 @@ class Client {
   // Sends `spec` to `origin` for execution; `cb` fires when the system
   // reports the transaction's outcome. Returns the request id. `origin`
   // must equal spec.root.node (the root subtransaction executes at the
-  // node it is submitted to); the node rejects mismatches.
+  // node it is submitted to); the node rejects mismatches. With tracing
+  // enabled, the request runs under a fresh kClientRequest root span.
   uint64_t Submit(NodeId origin, const TxnSpec& spec, ResultCallback cb)
       EXCLUDES(mu_);
 
@@ -44,15 +48,27 @@ class Client {
     return Submit(spec.root.node, spec, std::move(cb));
   }
 
+  // Sends a kAdminInspect probe to any endpoint (node or coordinator);
+  // `cb` fires with the decoded reply. Returns the request id.
+  uint64_t Inspect(NodeId target, InspectCallback cb) EXCLUDES(mu_);
+
   // Requests whose results have not arrived yet.
   size_t InFlight() const EXCLUDES(mu_);
 
  private:
+  struct PendingResult {
+    ResultCallback cb;
+    Micros submit_time = 0;
+    TraceContext trace;
+  };
+
   NodeId id_;
   Network* network_;
+  Tracer* tracer_;  // unowned, may be null
   mutable Mutex mu_;
   uint64_t next_seq_ GUARDED_BY(mu_) = 1;
-  std::unordered_map<uint64_t, std::pair<ResultCallback, Micros>> inflight_
+  std::unordered_map<uint64_t, PendingResult> inflight_ GUARDED_BY(mu_);
+  std::unordered_map<uint64_t, InspectCallback> inspect_inflight_
       GUARDED_BY(mu_);
 };
 
@@ -73,6 +89,10 @@ struct ClusterOptions {
   // CoordinatorOptions).
   Micros twopc_retry_interval = 50'000;
   Micros coordinator_retry_interval = 10'000;
+  // Observability: shared flight recorder wired into every node, the
+  // coordinator, the client and (via the owner) the transport. Unowned,
+  // may be null.
+  Tracer* tracer = nullptr;
 };
 
 // Owns and wires a full 3V deployment on one Network: `num_nodes` database
@@ -119,6 +139,14 @@ class Cluster {
   // Convenience: submit via the default client.
   uint64_t Submit(NodeId origin, const TxnSpec& spec,
                   Client::ResultCallback cb);
+
+  // Probes every live node plus the coordinator with kAdminInspect and
+  // fires `done` once every reply arrived, in endpoint order. Asynchronous
+  // (the reply needs the event loop to turn); under SimNet call Run() after.
+  // A node killed between the liveness snapshot and its reply leaves the
+  // aggregation waiting forever - probe healthy clusters.
+  void InspectAll(std::function<void(std::vector<NodeInspection>)> done)
+      EXCLUDES(mu_);
 
   // Verifies the paper's structural invariants (Section 4.4):
   //   * vr < vu <= vr + 2 on every node;

@@ -1,6 +1,7 @@
 #include "threev/core/coordinator.h"
 
 #include "threev/common/logging.h"
+#include "threev/trace/introspect.h"
 
 namespace threev {
 
@@ -11,6 +12,7 @@ AdvanceCoordinator::AdvanceCoordinator(const CoordinatorOptions& options,
       network_(network),
       metrics_(metrics),
       history_(history),
+      tracer_(options.tracer),
       c_matrix_(options.num_nodes * options.num_nodes, 0),
       r_matrix_(options.num_nodes * options.num_nodes, 0) {}
 
@@ -52,6 +54,14 @@ bool AdvanceCoordinator::StartAdvancement(DoneCallback done) {
     vu_new = NextVersion(vu_view_);
     done_ = std::move(done);
     start_time_ = network_->Now();
+    if (tracer_ != nullptr && tracer_->enabled()) {
+      adv_trace_ = tracer_->BeginSpan(start_time_, options_.id,
+                                      TraceOp::kAdvancement, TraceContext{},
+                                      static_cast<int64_t>(epoch));
+      phase_trace_ = tracer_->BeginSpan(start_time_, options_.id,
+                                        TraceOp::kAdvancePhase, adv_trace_,
+                                        /*arg=*/1);
+    }
   }
   BeginStage(MsgType::kStartAdvancement, vu_new, /*flag=*/false, epoch);
   return true;
@@ -61,6 +71,7 @@ void AdvanceCoordinator::BeginStage(MsgType type, Version version, bool flag,
                                     uint64_t seq) {
   uint64_t token;
   std::vector<NodeId> targets;
+  TraceContext trace;
   {
     MutexLock lock(mu_);
     awaiting_.clear();
@@ -72,14 +83,15 @@ void AdvanceCoordinator::BeginStage(MsgType type, Version version, bool flag,
     token = ++stage_token_;
     stage_retries_ = 0;
     targets.assign(awaiting_.begin(), awaiting_.end());
+    trace = phase_trace_;
   }
-  SendTo(targets, type, version, flag, seq);
+  SendTo(targets, type, version, flag, seq, trace);
   ArmRetransmit(token);
 }
 
 void AdvanceCoordinator::SendTo(const std::vector<NodeId>& targets,
                                 MsgType type, Version version, bool flag,
-                                uint64_t seq) {
+                                uint64_t seq, const TraceContext& trace) {
   for (NodeId n : targets) {
     Message m;
     m.type = type;
@@ -87,6 +99,7 @@ void AdvanceCoordinator::SendTo(const std::vector<NodeId>& targets,
     m.version = version;
     m.flag = flag;
     m.seq = seq;
+    m.trace = trace;
     network_->Send(n, std::move(m));
   }
 }
@@ -99,6 +112,7 @@ void AdvanceCoordinator::ArmRetransmit(uint64_t token) {
     Version version = 0;
     bool flag = false;
     uint64_t seq = 0;
+    TraceContext trace;
     {
       MutexLock lock(mu_);
       if (token != stage_token_ || awaiting_.empty()) return;
@@ -108,14 +122,27 @@ void AdvanceCoordinator::ArmRetransmit(uint64_t token) {
       version = stage_version_;
       flag = stage_flag_;
       seq = stage_seq_;
+      trace = phase_trace_;
       if (metrics_ != nullptr) {
         metrics_->advancement_retransmits.fetch_add(
             static_cast<int64_t>(targets.size()), std::memory_order_relaxed);
       }
     }
-    SendTo(targets, type, version, flag, seq);
+    SendTo(targets, type, version, flag, seq, trace);
     ArmRetransmit(token);
   });
+}
+
+void AdvanceCoordinator::SwitchPhaseSpanLocked(Micros ts, int64_t ended,
+                                               int64_t started) {
+  if (tracer_ == nullptr || !tracer_->enabled()) return;
+  tracer_->EndSpan(ts, options_.id, TraceOp::kAdvancePhase, phase_trace_,
+                   ended);
+  phase_trace_ = TraceContext{};
+  if (started != 0) {
+    phase_trace_ = tracer_->BeginSpan(ts, options_.id, TraceOp::kAdvancePhase,
+                                      adv_trace_, started);
+  }
 }
 
 void AdvanceCoordinator::HandleMessage(const Message& msg) {
@@ -135,6 +162,7 @@ void AdvanceCoordinator::HandleMessage(const Message& msg) {
           check_version_ = PrevVersion(vu_view_);
           quiesce = check_version_;
           proceed = true;
+          SwitchPhaseSpanLocked(network_->Now(), /*ended=*/1, /*started=*/2);
         }
       }
       if (proceed) BeginRound(quiesce);
@@ -156,6 +184,7 @@ void AdvanceCoordinator::HandleMessage(const Message& msg) {
           check_version_ = PrevVersion(vr_view_);
           quiesce = check_version_;
           proceed = true;
+          SwitchPhaseSpanLocked(network_->Now(), /*ended=*/3, /*started=*/4);
         }
       }
       if (proceed) BeginRound(quiesce);
@@ -172,6 +201,9 @@ void AdvanceCoordinator::HandleMessage(const Message& msg) {
       if (finished) FinishAdvancement();
       break;
     }
+    case MsgType::kAdminInspect:
+      OnAdminInspect(msg);
+      break;
     default:
       THREEV_LOG(kWarn) << "coordinator: unexpected " << msg.ToString();
   }
@@ -247,6 +279,11 @@ void AdvanceCoordinator::EvaluateRound() {
     if (metrics_ != nullptr) {
       metrics_->quiescence_rounds.fetch_add(1, std::memory_order_relaxed);
     }
+    if (tracer_ != nullptr && tracer_->enabled()) {
+      tracer_->Instant(network_->Now(), options_.id,
+                       TraceOp::kQuiescenceWave, phase_trace_,
+                       /*msg_type=*/0, static_cast<int64_t>(round_));
+    }
   }
   if (quiescent) {
     AdvancePhase();
@@ -270,6 +307,7 @@ void AdvanceCoordinator::AdvancePhase() {
       phase_ = Phase::kSwitchRead;
       vr_new = NextVersion(vr_view_);
       read_switch_time_ = network_->Now();
+      SwitchPhaseSpanLocked(read_switch_time_, /*ended=*/2, /*started=*/3);
     } else if (phase == Phase::kDrainReads) {
       // All queries on vr_old have terminated: garbage-collect.
       phase_ = Phase::kGarbageCollect;
@@ -298,6 +336,13 @@ void AdvanceCoordinator::FinishAdvancement() {
     start = start_time_;
     read_switch = read_switch_time_;
     vu_new = vu_view_;
+    Micros ts = network_->Now();
+    SwitchPhaseSpanLocked(ts, /*ended=*/4, /*started=*/0);
+    if (tracer_ != nullptr && tracer_->enabled()) {
+      tracer_->EndSpan(ts, options_.id, TraceOp::kAdvancement, adv_trace_,
+                       static_cast<int64_t>(vu_view_));
+    }
+    adv_trace_ = TraceContext{};
   }
   Micros now = network_->Now();
   if (metrics_ != nullptr) {
@@ -313,6 +358,44 @@ void AdvanceCoordinator::FinishAdvancement() {
     history_->RecordAdvancement(rec);
   }
   if (done) done(Status::Ok());
+}
+
+void AdvanceCoordinator::OnAdminInspect(const Message& msg) {
+  Message m = MakeInspectReply(msg, options_.id);
+  const char* phase_name = "idle";
+  {
+    MutexLock lock(mu_);
+    switch (phase_) {
+      case Phase::kIdle:
+        phase_name = "idle";
+        break;
+      case Phase::kSwitchUpdate:
+        phase_name = "switch_update";
+        break;
+      case Phase::kPhaseOut:
+        phase_name = "phase_out";
+        break;
+      case Phase::kSwitchRead:
+        phase_name = "switch_read";
+        break;
+      case Phase::kDrainReads:
+        phase_name = "drain_reads";
+        break;
+      case Phase::kGarbageCollect:
+        phase_name = "garbage_collect";
+        break;
+    }
+    InspectPutNum(&m, "epoch", static_cast<int64_t>(epoch_));
+    InspectPutNum(&m, "phase", static_cast<int64_t>(phase_));
+    InspectPutNum(&m, "round", static_cast<int64_t>(round_));
+    InspectPutNum(&m, "vu_view", vu_view_);
+    InspectPutNum(&m, "vr_view", vr_view_);
+    InspectPutNum(&m, "advancements", static_cast<int64_t>(completed_));
+    InspectPutNum(&m, "auto_advance", auto_enabled_ ? 1 : 0);
+    InspectPutNum(&m, "counters_version", check_version_);
+  }
+  InspectPutStr(&m, "phase_name", phase_name);
+  network_->Send(msg.from, std::move(m));
 }
 
 void AdvanceCoordinator::EnableAutoAdvance(Micros period) {

@@ -13,6 +13,7 @@
 #include "threev/common/thread_annotations.h"
 #include "threev/metrics/metrics.h"
 #include "threev/net/network.h"
+#include "threev/trace/trace.h"
 #include "threev/verify/history.h"
 
 namespace threev {
@@ -32,6 +33,10 @@ struct CoordinatorOptions {
   // window), and a bounded timer chain keeps event-loop drains finite for
   // tests that hold messages manually.
   size_t max_stage_retries = 50;
+  // Observability (DESIGN.md section 12): when set, each advancement runs
+  // under a kAdvancement span with one kAdvancePhase child per phase, and
+  // stage messages carry the phase's trace context. Unowned, may be null.
+  Tracer* tracer = nullptr;
 };
 
 // The version advancement process (Section 4.3). A single instance runs at
@@ -99,8 +104,15 @@ class AdvanceCoordinator {
   void BeginStage(MsgType type, Version version, bool flag, uint64_t seq)
       EXCLUDES(mu_);
   void SendTo(const std::vector<NodeId>& targets, MsgType type,
-              Version version, bool flag, uint64_t seq);
+              Version version, bool flag, uint64_t seq,
+              const TraceContext& trace);
   void ArmRetransmit(uint64_t token) EXCLUDES(mu_);
+  // Protocol introspection probe (see trace/introspect.h).
+  void OnAdminInspect(const Message& msg);
+  // Closes the current kAdvancePhase span and opens the next one
+  // (phase_index 1..4; 0 closes without opening).
+  void SwitchPhaseSpanLocked(Micros ts, int64_t ended, int64_t started)
+      REQUIRES(mu_);
   // Starts a quiescence round for `version` (wave 1: completion counters).
   void BeginRound(Version version) EXCLUDES(mu_);
   void SendWave(Version version, bool r_wave) EXCLUDES(mu_);
@@ -117,6 +129,7 @@ class AdvanceCoordinator {
   Network* network_;
   Metrics* metrics_;
   HistoryRecorder* history_;
+  Tracer* tracer_;  // unowned, may be null (tracing disabled)
 
   mutable Mutex mu_;
   Phase phase_ GUARDED_BY(mu_) = Phase::kIdle;
@@ -147,6 +160,10 @@ class AdvanceCoordinator {
   uint64_t completed_ GUARDED_BY(mu_) = 0;
   bool auto_enabled_ GUARDED_BY(mu_) = false;
   Micros auto_period_ GUARDED_BY(mu_) = 0;
+  // Spans of the running advancement / its current phase (invalid when
+  // idle or tracing is off).
+  TraceContext adv_trace_ GUARDED_BY(mu_);
+  TraceContext phase_trace_ GUARDED_BY(mu_);
 };
 
 }  // namespace threev

@@ -6,6 +6,7 @@
 #include "threev/common/logging.h"
 #include "threev/durability/checkpoint.h"
 #include "threev/durability/recovery.h"
+#include "threev/trace/introspect.h"
 
 namespace threev {
 
@@ -21,6 +22,7 @@ Node::Node(const NodeOptions& options, Network* network, Metrics* metrics,
       network_(network),
       metrics_(metrics),
       history_(history),
+      tracer_(options.tracer),
       store_(metrics),
       counters_(options.num_nodes),
       vu_(1),
@@ -58,6 +60,9 @@ void Node::RecoverFromLog() {
   wopts.dir = options_.wal_dir;
   wopts.fsync = options_.fsync;
   wopts.segment_bytes = options_.wal_segment_bytes;
+  wopts.tracer = tracer_;
+  wopts.node = options_.id;
+  wopts.now = [this] { return network_->Now(); };
   Result<std::unique_ptr<WriteAheadLog>> wal =
       WriteAheadLog::Open(wopts, metrics_);
   THREEV_CHECK(wal.ok()) << "node " << options_.id << ": wal open failed: "
@@ -180,14 +185,18 @@ Status Node::WriteCheckpoint() {
   }
   Status s = WriteCheckpointFile(options_.wal_dir, ck);
   if (!s.ok()) return s;
+  size_t bytes = 0;
+  for (const auto& img : ck.store) {
+    bytes += img.key.size() + img.value.ByteSize() + 12;
+  }
   if (metrics_ != nullptr) {
     metrics_->checkpoints_written.fetch_add(1, std::memory_order_relaxed);
-    size_t bytes = 0;
-    for (const auto& img : ck.store) {
-      bytes += img.key.size() + img.value.ByteSize() + 12;
-    }
     metrics_->checkpoint_bytes.fetch_add(static_cast<int64_t>(bytes),
                                          std::memory_order_relaxed);
+  }
+  if (tracer_ != nullptr && tracer_->enabled()) {
+    tracer_->Instant(network_->Now(), options_.id, TraceOp::kCheckpoint,
+                     TraceContext{}, 0, static_cast<int64_t>(bytes));
   }
   MutexLock lock(wal_mu_);
   return wal_->TruncateBefore(ck.wal_segment);
@@ -200,6 +209,7 @@ void Node::ArmTwopcRetry(TxnId txn) {
     std::vector<NodeId> targets;
     bool prepare = false;
     bool commit = true;
+    TraceContext twopc_trace;
     {
       MutexLock lock(mu_);
       auto rit = nc_roots_.find(txn);
@@ -207,6 +217,7 @@ void Node::ArmTwopcRetry(TxnId txn) {
       auto pit = pending_.find(rit->second);
       if (pit == pending_.end()) return;
       const PendingSubtxn& rec = pit->second;
+      twopc_trace = rec.twopc_trace;
       if (!rec.vote_waiting.empty()) {
         prepare = true;
         targets.assign(rec.vote_waiting.begin(), rec.vote_waiting.end());
@@ -225,6 +236,7 @@ void Node::ArmTwopcRetry(TxnId txn) {
       m.from = options_.id;
       m.txn = txn;
       m.flag = prepare ? false : commit;
+      m.trace = twopc_trace;
       network_->Send(p, std::move(m));
     }
     ArmTwopcRetry(txn);
@@ -323,6 +335,9 @@ void Node::HandleMessage(const Message& msg) {
     case MsgType::kLockCleanup:
       OnLockCleanup(msg);
       break;
+    case MsgType::kAdminInspect:
+      OnAdminInspect(msg);
+      break;
     default:
       THREEV_LOG(kWarn) << "node " << options_.id << ": unexpected "
                         << msg.ToString();
@@ -345,6 +360,7 @@ void Node::OnClientSubmit(const Message& msg) {
     m.status_code = StatusCode::kInvalidArgument;
     m.status_msg = "plan rooted at node " + std::to_string(msg.plan.node) +
                    " submitted to node " + std::to_string(options_.id);
+    m.trace = msg.trace;
     network_->Send(msg.from, std::move(m));
     return;
   }
@@ -363,6 +379,13 @@ void Node::OnClientSubmit(const Message& msg) {
   ctx->client = msg.from;
   ctx->client_seq = msg.seq;
   ctx->submit_time = network_->Now();
+  if (tracer_ != nullptr && tracer_->enabled()) {
+    // Root span of the whole transaction tree at this node, parented under
+    // the client's request span (if the submit carried one).
+    ctx->trace = tracer_->BeginSpan(ctx->submit_time, options_.id,
+                                    TraceOp::kTxn, msg.trace,
+                                    static_cast<int64_t>(ctx->txn));
+  }
   if (history_ != nullptr) {
     TxnSpec spec;
     spec.root = msg.plan;
@@ -385,6 +408,11 @@ void Node::OnSubtxnRequest(const Message& msg) {
   ctx->compensation = msg.seq == 1;
   ctx->klass = static_cast<TxnClass>(msg.klass);
   ctx->plan = msg.plan;
+  if (tracer_ != nullptr && tracer_->enabled()) {
+    ctx->trace = tracer_->BeginSpan(network_->Now(), options_.id,
+                                    TraceOp::kSubtxn, msg.trace,
+                                    static_cast<int64_t>(ctx->subtxn));
+  }
   StartSubtxn(std::move(ctx));
 }
 
@@ -414,7 +442,7 @@ void Node::StartSubtxn(ExecPtr ctx) {
         // Section 4.1 step 2: a descendant carrying a newer version than
         // our current update version doubles as the start-advancement
         // notification (version inference).
-        AdvanceUpdateVersionLocked(ctx->version);
+        AdvanceUpdateVersionLocked(ctx->version, ctx->trace);
         if (metrics_ != nullptr) {
           metrics_->version_inferences.fetch_add(1,
                                                  std::memory_order_relaxed);
@@ -540,13 +568,20 @@ void Node::AcquireNextLock(ExecPtr ctx, std::function<void(bool)> done) {
   ExecPtr c = ctx;
   locks_.Acquire(key, mode, ctx->txn,
                  [this, c, done, t0, returned](bool granted) {
-                   if (returned->load(std::memory_order_acquire) &&
-                       metrics_ != nullptr) {
+                   if (returned->load(std::memory_order_acquire)) {
                      // Deferred grant: the subtransaction actually waited.
-                     metrics_->lock_waits.fetch_add(1,
-                                                    std::memory_order_relaxed);
-                     metrics_->lock_wait_micros.fetch_add(
-                         network_->Now() - t0, std::memory_order_relaxed);
+                     Micros waited = network_->Now() - t0;
+                     if (metrics_ != nullptr) {
+                       metrics_->lock_waits.fetch_add(
+                           1, std::memory_order_relaxed);
+                       metrics_->lock_wait_micros.fetch_add(
+                           waited, std::memory_order_relaxed);
+                     }
+                     if (tracer_ != nullptr && tracer_->enabled()) {
+                       tracer_->Instant(network_->Now(), options_.id,
+                                        TraceOp::kLockWait, c->trace,
+                                        /*msg_type=*/0, waited);
+                     }
                    }
                    if (!granted) {
                      {
@@ -761,6 +796,9 @@ SubtxnId Node::SpawnChild(const ExecPtr& ctx, const SubtxnPlan& child,
   m.seq = compensation ? 1 : 0;
   m.klass = static_cast<uint8_t>(ctx->klass);
   m.plan = child;
+  // Child requests carry this subtransaction's span so the remote
+  // kSubtxn span parents under it.
+  m.trace = ctx->trace;
   network_->Send(child.node, std::move(m));
   return sid;
 }
@@ -787,6 +825,7 @@ void Node::FinishExecution(const ExecPtr& ctx, Status status,
   rec.client = ctx->client;
   rec.client_seq = ctx->client_seq;
   rec.submit_time = ctx->submit_time;
+  rec.trace = ctx->trace;
   if (rec.outstanding == 0) {
     CompleteSubtxn(std::move(rec));
     return;
@@ -845,6 +884,11 @@ void Node::CompleteSubtxn(PendingSubtxn rec) {
     ResolveRoot(std::move(rec));
     return;
   }
+  if (tracer_ != nullptr && tracer_->enabled()) {
+    // The subtransaction terminates (paper's sense: whole subtree done).
+    tracer_->EndSpan(network_->Now(), options_.id, TraceOp::kSubtxn,
+                     rec.trace, static_cast<int64_t>(rec.subtxn));
+  }
   Message m;
   m.type = MsgType::kCompletionNotice;
   m.from = options_.id;
@@ -852,6 +896,7 @@ void Node::CompleteSubtxn(PendingSubtxn rec) {
   m.subtxn = rec.subtxn;
   m.parent_subtxn = rec.parent_subtxn;
   m.version = rec.version;
+  m.trace = rec.trace;
   for (const auto& [key, value] : rec.reads) m.reads.emplace_back(key, value);
   for (NodeId p : rec.participants) {
     m.spawned.push_back(static_cast<SubtxnId>(p));
@@ -871,6 +916,7 @@ void Node::ResolveRoot(PendingSubtxn rec) {
         m.type = MsgType::kLockCleanup;
         m.from = options_.id;
         m.txn = rec.txn;
+        m.trace = rec.trace;
         network_->Send(p, std::move(m));
       }
     }
@@ -894,6 +940,14 @@ void Node::ResolveRoot(PendingSubtxn rec) {
     wrec.flag = false;
     LogRecord(wrec, /*force=*/true);
   }
+  if (tracer_ != nullptr && tracer_->enabled()) {
+    // The 2PC rounds get their own span under the transaction span; it
+    // closes in FinishRoot once every ack is in.
+    rec.twopc_trace =
+        tracer_->BeginSpan(network_->Now(), options_.id, TraceOp::kTwopc,
+                           rec.trace, static_cast<int64_t>(txn));
+  }
+  TraceContext twopc_trace = rec.twopc_trace;
   {
     MutexLock lock(mu_);
     nc_roots_[txn] = rec.subtxn;
@@ -911,6 +965,7 @@ void Node::ResolveRoot(PendingSubtxn rec) {
     m.from = options_.id;
     m.txn = txn;
     m.flag = false;  // only meaningful for kDecision: abort
+    m.trace = twopc_trace;
     network_->Send(p, std::move(m));
   }
   ArmTwopcRetry(txn);
@@ -940,6 +995,14 @@ void Node::FinishRoot(PendingSubtxn& rec, Status status) {
   if (history_ != nullptr) {
     history_->RecordComplete(rec.txn, committed, rec.version, rec.reads, now);
   }
+  if (tracer_ != nullptr && tracer_->enabled()) {
+    if (rec.twopc_trace.valid()) {
+      tracer_->EndSpan(now, options_.id, TraceOp::kTwopc, rec.twopc_trace,
+                       committed ? 1 : 0);
+    }
+    tracer_->EndSpan(now, options_.id, TraceOp::kTxn, rec.trace,
+                     committed ? 1 : 0);
+  }
   Message m;
   m.type = MsgType::kClientResult;
   m.from = options_.id;
@@ -949,6 +1012,7 @@ void Node::FinishRoot(PendingSubtxn& rec, Status status) {
   for (const auto& [key, value] : rec.reads) m.reads.emplace_back(key, value);
   m.status_code = status.code();
   m.status_msg = status.message();
+  m.trace = rec.trace;
   network_->Send(rec.client, std::move(m));
 }
 
@@ -986,6 +1050,7 @@ void Node::OnPrepare(const Message& msg) {
   m.from = options_.id;
   m.txn = msg.txn;
   m.flag = vote;
+  m.trace = msg.trace;
   network_->Send(msg.from, std::move(m));
 }
 
@@ -993,6 +1058,7 @@ void Node::OnVote(const Message& msg) {
   bool decide = false;
   bool commit = true;
   std::vector<NodeId> participants;
+  TraceContext twopc_trace;
   {
     MutexLock lock(mu_);
     auto rit = nc_roots_.find(msg.txn);
@@ -1005,6 +1071,7 @@ void Node::OnVote(const Message& msg) {
     if (rec.vote_waiting.empty() && rec.ack_waiting.empty()) {
       decide = true;
       commit = rec.commit;
+      twopc_trace = rec.twopc_trace;
       rec.ack_waiting.insert(rec.participants.begin(),
                              rec.participants.end());
       participants.assign(rec.participants.begin(), rec.participants.end());
@@ -1025,6 +1092,7 @@ void Node::OnVote(const Message& msg) {
     m.from = options_.id;
     m.txn = msg.txn;
     m.flag = commit;
+    m.trace = twopc_trace;
     network_->Send(p, std::move(m));
   }
 }
@@ -1070,6 +1138,7 @@ void Node::OnDecision(const Message& msg) {
   m.from = options_.id;
   m.txn = msg.txn;
   m.flag = msg.flag;
+  m.trace = msg.trace;
   network_->Send(msg.from, std::move(m));
 }
 
@@ -1106,9 +1175,14 @@ void Node::OnLockCleanup(const Message& msg) {
 // Version advancement participation (Section 4.3)
 // ---------------------------------------------------------------------------
 
-void Node::AdvanceUpdateVersionLocked(Version v) {
-  frozen_time_[vu_] = network_->Now();
+void Node::AdvanceUpdateVersionLocked(Version v, const TraceContext& trace) {
+  Micros now = network_->Now();
+  frozen_time_[vu_] = now;
   vu_ = v;
+  if (tracer_ != nullptr && tracer_->enabled()) {
+    tracer_->Instant(now, options_.id, TraceOp::kVersionSwitch, trace,
+                     /*msg_type=*/0, static_cast<int64_t>(v));
+  }
   // Counter rows for the new version are created lazily on first touch.
   WalRecord rec;
   rec.type = WalRecordType::kVersionSwitch;
@@ -1120,13 +1194,14 @@ void Node::AdvanceUpdateVersionLocked(Version v) {
 void Node::OnStartAdvancement(const Message& msg) {
   {
     MutexLock lock(mu_);
-    if (msg.version > vu_) AdvanceUpdateVersionLocked(msg.version);
+    if (msg.version > vu_) AdvanceUpdateVersionLocked(msg.version, msg.trace);
   }
   Message m;
   m.type = MsgType::kStartAdvancementAck;
   m.from = options_.id;
   m.version = msg.version;
   m.seq = msg.seq;
+  m.trace = msg.trace;
   network_->Send(msg.from, std::move(m));
 }
 
@@ -1142,6 +1217,7 @@ void Node::OnCounterRead(const Message& msg) {
   } else {
     m.counters_c = counters_.SnapshotC(msg.version);
   }
+  m.trace = msg.trace;
   network_->Send(msg.from, std::move(m));
 }
 
@@ -1150,6 +1226,11 @@ void Node::OnReadVersionAdvance(const Message& msg) {
     MutexLock lock(mu_);
     if (msg.version > vr_) {
       vr_ = msg.version;
+      if (tracer_ != nullptr && tracer_->enabled()) {
+        tracer_->Instant(network_->Now(), options_.id,
+                         TraceOp::kReadVersionSwitch, msg.trace,
+                         /*msg_type=*/0, static_cast<int64_t>(msg.version));
+      }
       WalRecord rec;
       rec.type = WalRecordType::kVersionSwitch;
       rec.version = msg.version;
@@ -1162,6 +1243,7 @@ void Node::OnReadVersionAdvance(const Message& msg) {
   m.from = options_.id;
   m.version = msg.version;
   m.seq = msg.seq;
+  m.trace = msg.trace;
   network_->Send(msg.from, std::move(m));
   WakeVersionGateWaiters();
 }
@@ -1196,11 +1278,59 @@ void Node::OnGarbageCollect(const Message& msg) {
     frozen_time_.erase(frozen_time_.begin(),
                        frozen_time_.lower_bound(msg.version));
   }
+  if (tracer_ != nullptr && tracer_->enabled()) {
+    tracer_->Instant(network_->Now(), options_.id, TraceOp::kGarbageCollect,
+                     msg.trace, /*msg_type=*/0,
+                     static_cast<int64_t>(msg.version));
+  }
   Message m;
   m.type = MsgType::kGarbageCollectAck;
   m.from = options_.id;
   m.version = msg.version;
   m.seq = msg.seq;
+  m.trace = msg.trace;
+  network_->Send(msg.from, std::move(m));
+}
+
+// ---------------------------------------------------------------------------
+// Protocol introspection (DESIGN.md section 12)
+// ---------------------------------------------------------------------------
+
+void Node::OnAdminInspect(const Message& msg) {
+  Message m = MakeInspectReply(msg, options_.id);
+  Version counter_version;
+  {
+    MutexLock lock(mu_);
+    InspectPutNum(&m, "vu", vu_);
+    InspectPutNum(&m, "vr", vr_);
+    InspectPutNum(&m, "pending_subtxns",
+                  static_cast<int64_t>(pending_.size()));
+    InspectPutNum(&m, "nc_txns", static_cast<int64_t>(nc_txns_.size()));
+    InspectPutNum(&m, "gate_waiters",
+                  static_cast<int64_t>(gate_waiters_.size()));
+    // Counter rows for the probed version (msg.version), defaulting to the
+    // current update version.
+    counter_version = msg.version != 0 ? msg.version : vu_;
+  }
+  InspectPutStr(&m, "mode",
+                options_.mode == NodeMode::kPure3V ? "pure3v" : "nc3v");
+  InspectPutNum(&m, "locks_held",
+                static_cast<int64_t>(locks_.HeldCount()));
+  InspectPutNum(&m, "lock_waiters",
+                static_cast<int64_t>(locks_.WaiterCount()));
+  InspectPutNum(&m, "store_keys", static_cast<int64_t>(store_.KeyCount()));
+  {
+    MutexLock lock(wal_mu_);
+    if (wal_ != nullptr) {
+      InspectPutNum(&m, "wal_segment",
+                    static_cast<int64_t>(wal_->current_segment()));
+      InspectPutNum(&m, "wal_bytes",
+                    static_cast<int64_t>(wal_->bytes_appended()));
+    }
+  }
+  InspectPutNum(&m, "counters_version", counter_version);
+  m.counters_r = counters_.SnapshotR(counter_version);
+  m.counters_c = counters_.SnapshotC(counter_version);
   network_->Send(msg.from, std::move(m));
 }
 

@@ -23,6 +23,7 @@
 #include "threev/metrics/metrics.h"
 #include "threev/net/network.h"
 #include "threev/storage/versioned_store.h"
+#include "threev/trace/trace.h"
 #include "threev/txn/plan.h"
 #include "threev/verify/history.h"
 
@@ -84,6 +85,10 @@ struct NodeOptions {
   // participants that have not answered (their reply - or the original
   // message - died with a crashed node). 0 disables.
   Micros twopc_retry_interval = 50'000;
+  // Observability (DESIGN.md section 12). Null disables tracing; when set,
+  // the node records spans/instants into this shared flight recorder and
+  // answers kAdminInspect probes with richer detail. Unowned.
+  Tracer* tracer = nullptr;
 };
 
 // One database node (site) running the 3V protocol.
@@ -167,6 +172,9 @@ class Node {
     NodeId client = 0;
     uint64_t client_seq = 0;
     Micros submit_time = 0;
+    // Span of this subtransaction's execution (invalid when tracing off);
+    // child requests carry ctx.trace so remote spans parent under it.
+    TraceContext trace;
     // Async lock acquisition state (guarded by the node mutex).
     std::vector<std::pair<std::string, LockMode>> lock_needs;
     size_t next_lock = 0;
@@ -194,6 +202,12 @@ class Node {
     NodeId client = 0;
     uint64_t client_seq = 0;
     Micros submit_time = 0;
+    // Span carried over from execution; completion notices / 2PC traffic /
+    // the client result are stamped with it.
+    TraceContext trace;
+    // Root of a non-commuting transaction: the kTwopc span opened by
+    // ResolveRoot and closed by FinishRoot.
+    TraceContext twopc_trace;
     // Two-phase commit state (root of a non-commuting transaction).
     // Sets rather than counts: retransmitted prepares/decisions produce
     // duplicate votes/acks, which must deduplicate, not underflow.
@@ -225,6 +239,9 @@ class Node {
   void OnDecision(const Message& msg);
   void OnDecisionAck(const Message& msg);
   void OnLockCleanup(const Message& msg);
+  // Protocol introspection probe: replies with a kAdminInspectReply whose
+  // stat map / counter rows describe this node (see trace/introspect.h).
+  void OnAdminInspect(const Message& msg);
 
   // --- execution ---
   // Assigns the root version / applies version inference, then routes to
@@ -273,7 +290,10 @@ class Node {
   void ArmTwopcRetry(TxnId txn);
 
   // --- helpers ---
-  void AdvanceUpdateVersionLocked(Version v) REQUIRES(mu_);
+  // `trace` attributes the switch instant to whoever caused it (the
+  // coordinator's advancement span, or the inferring subtransaction).
+  void AdvanceUpdateVersionLocked(Version v, const TraceContext& trace)
+      REQUIRES(mu_);
   void WakeVersionGateWaiters() EXCLUDES(mu_);
   bool InjectAbort() EXCLUDES(mu_);
   SubtxnId NewSubtxnId() EXCLUDES(mu_);
@@ -284,6 +304,7 @@ class Node {
   Network* network_;          // unowned
   Metrics* metrics_;          // unowned
   HistoryRecorder* history_;  // unowned, may be null
+  Tracer* tracer_;            // unowned, may be null (tracing disabled)
 
   VersionedStore store_;
   CounterTable counters_;

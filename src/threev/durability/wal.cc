@@ -207,6 +207,13 @@ Status WriteAheadLog::SyncNow() {
   if (metrics_ != nullptr) {
     metrics_->wal_fsyncs.fetch_add(1, std::memory_order_relaxed);
   }
+  if (options_.tracer != nullptr && options_.tracer->enabled() &&
+      options_.now) {
+    options_.tracer->Instant(options_.now(), options_.node, TraceOp::kWalFsync,
+                             TraceContext{}, 0,
+                             static_cast<int64_t>(bytes_since_sync_));
+  }
+  bytes_since_sync_ = 0;
   return Status::Ok();
 }
 
@@ -233,6 +240,7 @@ Status WriteAheadLog::Append(const WalRecord& rec, bool force) {
   size_t frame = sizeof(header) + payload.size();
   segment_size_ += frame;
   bytes_appended_ += frame;
+  bytes_since_sync_ += frame;
   if (metrics_ != nullptr) {
     metrics_->wal_records.fetch_add(1, std::memory_order_relaxed);
     metrics_->wal_bytes.fetch_add(static_cast<int64_t>(frame),

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <cstdio>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -11,6 +12,7 @@
 #include "threev/common/status.h"
 #include "threev/metrics/metrics.h"
 #include "threev/storage/versioned_store.h"
+#include "threev/trace/trace.h"
 
 namespace threev {
 
@@ -98,6 +100,12 @@ struct WalOptions {
   std::string dir;  // segment files live here ("wal-<seq>.log")
   FsyncPolicy fsync = FsyncPolicy::kNone;
   size_t segment_bytes = 4u << 20;  // rotate past this size
+  // Observability (DESIGN.md section 12): kWalFsync instants land on
+  // `node`'s track with timestamps from `now`, so the trace stays in the
+  // owning node's clock domain (virtual under SimNet). Optional.
+  Tracer* tracer = nullptr;
+  NodeId node = 0;
+  std::function<Micros()> now;
 };
 
 // Append-only segmented redo log for one node. Not thread-safe: the owning
@@ -151,6 +159,7 @@ class WriteAheadLog {
   uint64_t segment_ = 0;
   size_t segment_size_ = 0;
   uint64_t bytes_appended_ = 0;
+  uint64_t bytes_since_sync_ = 0;  // kWalFsync instant arg
 };
 
 }  // namespace threev

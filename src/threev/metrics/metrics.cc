@@ -39,6 +39,41 @@ void Metrics::Reset() {
   wal_record_bytes.Reset();
 }
 
+void Metrics::MergeFrom(const Metrics& other) {
+  messages_sent += other.messages_sent.load();
+  bytes_sent += other.bytes_sent.load();
+  txns_committed += other.txns_committed.load();
+  txns_aborted += other.txns_aborted.load();
+  subtxns_executed += other.subtxns_executed.load();
+  compensations_sent += other.compensations_sent.load();
+  version_copies += other.version_copies.load();
+  bytes_copied += other.bytes_copied.load();
+  dual_version_writes += other.dual_version_writes.load();
+  version_inferences += other.version_inferences.load();
+  advancements_completed += other.advancements_completed.load();
+  quiescence_rounds += other.quiescence_rounds.load();
+  lock_waits += other.lock_waits.load();
+  lock_wait_micros += other.lock_wait_micros.load();
+  version_gate_waits += other.version_gate_waits.load();
+  wal_records += other.wal_records.load();
+  wal_bytes += other.wal_bytes.load();
+  wal_fsyncs += other.wal_fsyncs.load();
+  checkpoints_written += other.checkpoints_written.load();
+  checkpoint_bytes += other.checkpoint_bytes.load();
+  recoveries += other.recoveries.load();
+  recovery_replayed_bytes += other.recovery_replayed_bytes.load();
+  messages_dropped += other.messages_dropped.load();
+  advancement_retransmits += other.advancement_retransmits.load();
+  twopc_retransmits += other.twopc_retransmits.load();
+  node_crashes += other.node_crashes.load();
+  update_latency.Merge(other.update_latency);
+  read_latency.Merge(other.read_latency);
+  advancement_latency.Merge(other.advancement_latency);
+  staleness.Merge(other.staleness);
+  recovery_latency.Merge(other.recovery_latency);
+  wal_record_bytes.Merge(other.wal_record_bytes);
+}
+
 std::string Metrics::Report() const {
   std::ostringstream os;
   os << "txns: committed=" << txns_committed.load()
@@ -69,6 +104,7 @@ std::string Metrics::Report() const {
      << " 2pc_retransmits=" << twopc_retransmits.load() << "\n";
   os << "update_latency: " << update_latency.Summary() << "\n";
   os << "read_latency:   " << read_latency.Summary() << "\n";
+  os << "advancement:    " << advancement_latency.Summary() << "\n";
   os << "staleness:      " << staleness.Summary() << "\n";
   os << "recovery_time:  " << recovery_latency.Summary() << "\n";
   os << "wal_rec_bytes:  " << wal_record_bytes.Summary() << "\n";

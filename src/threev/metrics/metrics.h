@@ -71,6 +71,12 @@ struct Metrics {
 
   void Reset();
 
+  // Adds another instance's counters and distributions into this one, for
+  // cross-node aggregation (the Prometheus exporter merges per-node Metrics
+  // into a scratch instance). Like Reset()/Histogram::Merge(), NOT an
+  // atomic snapshot: call only while `other`'s writers are quiescent.
+  void MergeFrom(const Metrics& other);
+
   // Multi-line human-readable dump.
   std::string Report() const;
 };

@@ -40,6 +40,10 @@ const char* MsgTypeName(MsgType type) {
       return "ClientSubmit";
     case MsgType::kClientResult:
       return "ClientResult";
+    case MsgType::kAdminInspect:
+      return "AdminInspect";
+    case MsgType::kAdminInspectReply:
+      return "AdminInspectReply";
   }
   return "?";
 }
@@ -56,7 +60,8 @@ size_t PlanBytes(const SubtxnPlan& plan) {
 }  // namespace
 
 size_t Message::ApproxBytes() const {
-  size_t n = 1 + 4 + 8 + 8 + 8 + 4 + 8 + 1 + 1 + 4;  // fixed header fields
+  // Fixed header fields, including the three u64 TraceContext ids.
+  size_t n = 1 + 4 + 8 + 8 + 8 + 4 + 8 + 1 + 1 + 4 + 24;
   n += PlanBytes(plan);
   n += spawned.size() * 8;
   for (const auto& [key, value] : reads) {

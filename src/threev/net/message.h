@@ -8,6 +8,7 @@
 
 #include "threev/common/ids.h"
 #include "threev/common/status.h"
+#include "threev/trace/trace_context.h"
 #include "threev/txn/plan.h"
 
 namespace threev {
@@ -40,6 +41,10 @@ enum class MsgType : uint8_t {
   // --- remote client protocol (TcpNet deployments) ---
   kClientSubmit,
   kClientResult,
+
+  // --- protocol introspection (observability, DESIGN.md section 12) ---
+  kAdminInspect,       // ask an endpoint for its protocol state
+  kAdminInspectReply,  // stat map in `reads`, counter rows in counters_r/c
 };
 
 const char* MsgTypeName(MsgType type);
@@ -61,6 +66,11 @@ struct Message {
   uint8_t klass = 0;  // TxnClass of the owning transaction
   // Tracker endpoint (node that owns the completion bookkeeping for txn).
   NodeId origin = 0;
+
+  // Causal trace context (all-zero when tracing is off). Carried on every
+  // message and across the TCP wire so one transaction's or advancement's
+  // spans chain across nodes; see src/threev/trace/.
+  TraceContext trace;
 
   SubtxnPlan plan;  // kSubtxnRequest / kClientSubmit
 

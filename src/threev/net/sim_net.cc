@@ -51,6 +51,10 @@ void SimNet::DispatchNow(NodeId to, Message msg, uint64_t sent_incarnation) {
       return;
     }
   }
+  if (options_.tracer != nullptr && options_.tracer->enabled()) {
+    options_.tracer->Instant(Now(), to, TraceOp::kMsgRecv, msg.trace,
+                             static_cast<uint8_t>(msg.type));
+  }
   auto it = handlers_.find(to);
   THREEV_CHECK(it != handlers_.end()) << "no endpoint " << to;
   it->second(msg);
@@ -61,6 +65,10 @@ void SimNet::Send(NodeId to, Message msg) {
     metrics_->messages_sent.fetch_add(1, std::memory_order_relaxed);
     metrics_->bytes_sent.fetch_add(static_cast<int64_t>(msg.ApproxBytes()),
                                    std::memory_order_relaxed);
+  }
+  if (options_.tracer != nullptr && options_.tracer->enabled()) {
+    options_.tracer->Instant(Now(), msg.from, TraceOp::kMsgSend, msg.trace,
+                             static_cast<uint8_t>(msg.type));
   }
   uint64_t incarnation = 0;
   if (auto it = liveness_.find(to); it != liveness_.end()) {

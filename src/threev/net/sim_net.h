@@ -10,6 +10,7 @@
 #include "threev/metrics/metrics.h"
 #include "threev/net/network.h"
 #include "threev/sim/event_loop.h"
+#include "threev/trace/trace.h"
 
 namespace threev {
 
@@ -24,6 +25,9 @@ struct SimNetOptions {
   // Deliver()/DeliverAll(). Used by the Table 1 replay to reproduce the
   // paper's exact interleaving.
   bool manual = false;
+  // Observability: records kMsgSend/kMsgRecv instants carrying each
+  // message's trace context. Unowned, may be null.
+  Tracer* tracer = nullptr;
 };
 
 // Deterministic discrete-event network. All endpoints run inside one

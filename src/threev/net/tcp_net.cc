@@ -195,6 +195,11 @@ void TcpNet::DispatchLoop() {
         THREEV_LOG(kWarn) << "no local endpoint " << item.to;
         continue;
       }
+      if (options_.tracer != nullptr && options_.tracer->enabled()) {
+        options_.tracer->Instant(Now(), item.to, TraceOp::kMsgRecv,
+                                 item.msg.trace,
+                                 static_cast<uint8_t>(item.msg.type));
+      }
       it->second(item.msg);
     }
   }
@@ -278,6 +283,10 @@ void TcpNet::FlushConn(const std::shared_ptr<Conn>& conn, NodeId to) {
 void TcpNet::Send(NodeId to, Message msg) {
   if (metrics_ != nullptr) {
     metrics_->messages_sent.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (options_.tracer != nullptr && options_.tracer->enabled()) {
+    options_.tracer->Instant(Now(), msg.from, TraceOp::kMsgSend, msg.trace,
+                             static_cast<uint8_t>(msg.type));
   }
   // Local endpoint: skip the wire, but still go through the dispatcher so
   // the no-synchronous-delivery contract holds.

@@ -15,6 +15,7 @@
 #include "threev/metrics/metrics.h"
 #include "threev/net/network.h"
 #include "threev/net/wire.h"
+#include "threev/trace/trace.h"
 
 namespace threev {
 
@@ -27,6 +28,9 @@ struct TcpNetOptions {
   // How long Send() keeps retrying the initial connection to a peer that
   // has not started yet.
   Micros connect_timeout = 10'000'000;
+  // Observability: records kMsgSend/kMsgRecv instants carrying each
+  // message's trace context. Unowned, may be null.
+  Tracer* tracer = nullptr;
 };
 
 // TCP transport for genuine multi-process deployments ("manual networking

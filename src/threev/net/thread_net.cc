@@ -26,25 +26,39 @@ void ThreadNet::RegisterEndpoint(NodeId id, MessageHandler handler) {
 void ThreadNet::Start() {
   THREEV_CHECK(!started_.exchange(true, std::memory_order_acq_rel));
   const int workers = std::max(1, options_.workers_per_endpoint);
+  Tracer* tracer = options_.tracer;
   for (auto& [id, ep] : endpoints_) {
     Endpoint* e = ep.get();
+    const NodeId self = id;
     if (workers == 1) {
       // Single worker: drain the mailbox in batches. One wakeup and one
       // lock round trip serve an entire burst of messages, and handler
       // execution stays serialized.
-      e->workers.emplace_back([e] {
+      e->workers.emplace_back([e, tracer, self] {
         for (;;) {
           std::deque<Message> batch = e->mailbox.PopAll();
           if (batch.empty()) return;  // closed and drained
-          for (auto& msg : batch) e->handler(msg);
+          for (auto& msg : batch) {
+            if (tracer != nullptr && tracer->enabled()) {
+              tracer->Instant(RealClock::Instance().Now(), self,
+                              TraceOp::kMsgRecv, msg.trace,
+                              static_cast<uint8_t>(msg.type));
+            }
+            e->handler(msg);
+          }
         }
       });
     } else {
       // Multiple workers must pull one message at a time so the burst
       // spreads across them instead of landing on whichever woke first.
       for (int w = 0; w < workers; ++w) {
-        e->workers.emplace_back([e] {
+        e->workers.emplace_back([e, tracer, self] {
           while (auto msg = e->mailbox.Pop()) {
+            if (tracer != nullptr && tracer->enabled()) {
+              tracer->Instant(RealClock::Instance().Now(), self,
+                              TraceOp::kMsgRecv, msg->trace,
+                              static_cast<uint8_t>(msg->type));
+            }
             e->handler(*msg);
           }
         });
@@ -76,6 +90,10 @@ void ThreadNet::Send(NodeId to, Message msg) {
     metrics_->messages_sent.fetch_add(1, std::memory_order_relaxed);
     metrics_->bytes_sent.fetch_add(static_cast<int64_t>(msg.ApproxBytes()),
                                    std::memory_order_relaxed);
+  }
+  if (options_.tracer != nullptr && options_.tracer->enabled()) {
+    options_.tracer->Instant(Now(), msg.from, TraceOp::kMsgSend, msg.trace,
+                             static_cast<uint8_t>(msg.type));
   }
   auto it = endpoints_.find(to);
   THREEV_CHECK(it != endpoints_.end()) << "no endpoint " << to;

@@ -15,6 +15,7 @@
 #include "threev/common/thread_annotations.h"
 #include "threev/metrics/metrics.h"
 #include "threev/net/network.h"
+#include "threev/trace/trace.h"
 
 namespace threev {
 
@@ -29,6 +30,9 @@ struct ThreadNetOptions {
   // handlers that are themselves thread-safe (e.g. load generators or
   // fan-out sinks in benchmarks), never for a Node endpoint.
   int workers_per_endpoint = 1;
+  // Observability: records kMsgSend/kMsgRecv instants carrying each
+  // message's trace context. Unowned, may be null.
+  Tracer* tracer = nullptr;
 };
 
 // One mailbox + worker thread per endpoint; a dedicated timer thread serves

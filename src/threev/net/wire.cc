@@ -116,9 +116,10 @@ size_t EncodedPlanSize(const SubtxnPlan& plan) {
 }  // namespace
 
 size_t EncodedMessageSize(const Message& msg) {
-  // 47 fixed header bytes (type..origin) + status_code + status_msg length
-  // prefix. TcpNet writes this as the frame length, so it must be exact.
-  size_t n = 47 + 1 + 4;
+  // 71 fixed header bytes (type..origin + 24-byte TraceContext) +
+  // status_code + status_msg length prefix. TcpNet writes this as the frame
+  // length, so it must be exact.
+  size_t n = 71 + 1 + 4;
   n += EncodedPlanSize(msg.plan);
   n += 4 + 8 * msg.spawned.size();
   n += 4;
@@ -146,6 +147,9 @@ void EncodeMessageTo(WireWriter& w, const Message& msg) {
   w.Bool(msg.flag);
   w.U8(msg.klass);
   w.U32(msg.origin);
+  w.U64(msg.trace.trace_id);
+  w.U64(msg.trace.span_id);
+  w.U64(msg.trace.parent_span_id);
   EncodePlan(w, msg.plan);
   w.U32(static_cast<uint32_t>(msg.spawned.size()));
   for (SubtxnId id : msg.spawned) w.U64(id);
@@ -192,6 +196,9 @@ Result<Message> DecodeMessage(const uint8_t* data, size_t size) {
   msg.flag = r.Bool();
   msg.klass = r.U8();
   msg.origin = r.U32();
+  msg.trace.trace_id = r.U64();
+  msg.trace.span_id = r.U64();
+  msg.trace.parent_span_id = r.U64();
   msg.plan = DecodePlan(r);
   uint32_t nspawned = r.U32();
   msg.spawned.reserve(std::min<size_t>(nspawned, r.remaining() / 8));

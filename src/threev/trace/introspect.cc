@@ -1,0 +1,90 @@
+#include "threev/trace/introspect.h"
+
+#include <sstream>
+
+namespace threev {
+
+int64_t NodeInspection::Stat(const std::string& key, int64_t fallback) const {
+  for (const auto& [k, v] : stats) {
+    if (k == key) return v.num;
+  }
+  return fallback;
+}
+
+std::string NodeInspection::StatStr(const std::string& key) const {
+  for (const auto& [k, v] : stats) {
+    if (k == key) return v.str;
+  }
+  return "";
+}
+
+bool NodeInspection::HasStat(const std::string& key) const {
+  for (const auto& [k, v] : stats) {
+    if (k == key) return true;
+  }
+  return false;
+}
+
+std::string NodeInspection::ToString() const {
+  std::ostringstream os;
+  os << "node=" << node;
+  for (const auto& [k, v] : stats) {
+    os << " " << k << "=";
+    if (!v.str.empty()) {
+      os << v.str;
+    } else {
+      os << v.num;
+    }
+  }
+  if (!counters_r.empty()) {
+    os << " R={";
+    for (size_t i = 0; i < counters_r.size(); ++i) {
+      if (i) os << ",";
+      os << counters_r[i].first << ":" << counters_r[i].second;
+    }
+    os << "}";
+  }
+  if (!counters_c.empty()) {
+    os << " C={";
+    for (size_t i = 0; i < counters_c.size(); ++i) {
+      if (i) os << ",";
+      os << counters_c[i].first << ":" << counters_c[i].second;
+    }
+    os << "}";
+  }
+  return os.str();
+}
+
+void InspectPutNum(Message* reply, const std::string& key, int64_t value) {
+  Value v;
+  v.num = value;
+  reply->reads.emplace_back(key, std::move(v));
+}
+
+void InspectPutStr(Message* reply, const std::string& key,
+                   const std::string& value) {
+  Value v;
+  v.str = value;
+  reply->reads.emplace_back(key, std::move(v));
+}
+
+NodeInspection InspectionFromReply(const Message& reply) {
+  NodeInspection in;
+  in.node = reply.from;
+  in.stats = reply.reads;
+  in.counters_r = reply.counters_r;
+  in.counters_c = reply.counters_c;
+  return in;
+}
+
+Message MakeInspectReply(const Message& req, NodeId self) {
+  Message reply;
+  reply.type = MsgType::kAdminInspectReply;
+  reply.from = self;
+  reply.seq = req.seq;
+  reply.version = req.version;
+  reply.trace = req.trace;
+  return reply;
+}
+
+}  // namespace threev

@@ -1,0 +1,43 @@
+#ifndef THREEV_TRACE_TRACE_CONTEXT_H_
+#define THREEV_TRACE_TRACE_CONTEXT_H_
+
+#include <cstdint>
+
+namespace threev {
+
+// Causal context carried on every Message (and encoded on the TCP wire), so
+// one root transaction's work can be stitched into a single trace as it fans
+// out across nodes. Deliberately minimal - three ids, no baggage - because
+// it rides the protocol hot path:
+//   trace_id        - the whole tree (root transaction or one advancement).
+//   span_id         - the sender's current span; the receiver starts child
+//                     spans with parent_span_id = this.
+//   parent_span_id  - the sender's own parent, carried for completeness so
+//                     a dumped message instant can be placed in the tree
+//                     even when the surrounding span records were
+//                     overwritten in the ring.
+// An all-zero context means "untraced"; every propagation site is a no-op
+// then, so disabled tracing costs three u64 copies per message and nothing
+// else. This header stays free of the recorder so net/message.h can include
+// it without a layering cycle.
+struct TraceContext {
+  uint64_t trace_id = 0;
+  uint64_t span_id = 0;
+  uint64_t parent_span_id = 0;
+
+  bool valid() const { return trace_id != 0; }
+
+  // The context a child span started under this one should carry.
+  TraceContext Child(uint64_t child_span_id) const {
+    return TraceContext{trace_id, child_span_id, span_id};
+  }
+
+  friend bool operator==(const TraceContext& a, const TraceContext& b) {
+    return a.trace_id == b.trace_id && a.span_id == b.span_id &&
+           a.parent_span_id == b.parent_span_id;
+  }
+};
+
+}  // namespace threev
+
+#endif  // THREEV_TRACE_TRACE_CONTEXT_H_

@@ -63,6 +63,56 @@ TEST(HistogramPropertyTest, PercentilesAreMonotone) {
   EXPECT_GE(h.Percentile(0), 0);
 }
 
+TEST(HistogramTest, MergeCombinesCountsSumAndExtremes) {
+  Histogram a, b;
+  for (int i = 1; i <= 100; ++i) a.Record(i);        // [1, 100]
+  for (int i = 1000; i <= 1500; ++i) b.Record(i);    // [1000, 1500]
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 100 + 501);
+  EXPECT_EQ(a.sum(), 100 * 101 / 2 + 501 * 1250);
+  EXPECT_EQ(a.min(), 1);
+  EXPECT_EQ(a.max(), 1500);
+  // The merged distribution is bimodal: the median falls in b's mode, and
+  // low percentiles still resolve a's mode (bucket error ~6%).
+  EXPECT_GE(a.Percentile(50), 1000 * 0.94);
+  EXPECT_LE(a.Percentile(10), 100 * 1.07 + 2);
+  // Merging an empty histogram is a no-op on totals and extremes.
+  Histogram empty;
+  int64_t count = a.count(), sum = a.sum(), mn = a.min(), mx = a.max();
+  a.Merge(empty);
+  EXPECT_EQ(a.count(), count);
+  EXPECT_EQ(a.sum(), sum);
+  EXPECT_EQ(a.min(), mn);
+  EXPECT_EQ(a.max(), mx);
+  // Merging INTO an empty histogram adopts the source's extremes.
+  Histogram fresh;
+  fresh.Merge(a);
+  EXPECT_EQ(fresh.count(), a.count());
+  EXPECT_EQ(fresh.min(), 1);
+  EXPECT_EQ(fresh.max(), 1500);
+}
+
+TEST(MetricsTest, MergeFromAggregatesCountersAndHistograms) {
+  Metrics a, b;
+  a.txns_committed = 3;
+  a.wal_fsyncs = 1;
+  a.update_latency.Record(100);
+  b.txns_committed = 4;
+  b.messages_dropped = 2;
+  b.update_latency.Record(300);
+  b.staleness.Record(50);
+  a.MergeFrom(b);
+  EXPECT_EQ(a.txns_committed.load(), 7);
+  EXPECT_EQ(a.wal_fsyncs.load(), 1);
+  EXPECT_EQ(a.messages_dropped.load(), 2);
+  EXPECT_EQ(a.update_latency.count(), 2);
+  EXPECT_EQ(a.update_latency.sum(), 400);
+  EXPECT_EQ(a.staleness.count(), 1);
+  // b is untouched.
+  EXPECT_EQ(b.txns_committed.load(), 4);
+  EXPECT_EQ(b.update_latency.count(), 1);
+}
+
 TEST(HistogramPropertyTest, PercentileWithinBucketError) {
   Histogram h;
   for (int i = 1; i <= 100000; ++i) h.Record(i);

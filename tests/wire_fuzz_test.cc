@@ -14,7 +14,7 @@ namespace {
 
 Message RandomMessage(Rng& rng) {
   Message m;
-  m.type = static_cast<MsgType>(rng.Uniform(17));
+  m.type = static_cast<MsgType>(rng.Uniform(19));
   m.from = static_cast<NodeId>(rng.Uniform(16));
   m.txn = rng.Next();
   m.subtxn = rng.Next();
@@ -64,6 +64,13 @@ Message RandomMessage(Rng& rng) {
   }
   m.status_code = static_cast<StatusCode>(rng.Uniform(10));
   m.status_msg = std::string(rng.Uniform(32), 'e');
+  // Half the messages carry a trace context (the all-zero case is the
+  // tracing-off wire form and must round-trip too).
+  if (rng.Bernoulli(0.5)) {
+    m.trace.trace_id = rng.Next();
+    m.trace.span_id = rng.Next();
+    m.trace.parent_span_id = rng.Next();
+  }
   return m;
 }
 
@@ -86,6 +93,29 @@ TEST(WireFuzzTest, RandomMessagesRoundTrip) {
     EXPECT_EQ(decoded->plan.ops.size(), m.plan.ops.size());
     EXPECT_EQ(decoded->reads.size(), m.reads.size());
     EXPECT_EQ(decoded->status_msg, m.status_msg);
+    EXPECT_TRUE(decoded->trace == m.trace) << "iteration " << i;
+  }
+}
+
+// The trace context must survive the wire byte-exactly: a span id with any
+// byte pattern (including bytes that look like string lengths or counts to
+// a misaligned decoder) comes back identical, and re-encoding the decoded
+// message reproduces the original buffer bit-for-bit.
+TEST(WireFuzzTest, TraceContextRoundTripsByteExact) {
+  Rng rng(909);
+  for (int i = 0; i < 200; ++i) {
+    Message m = RandomMessage(rng);
+    m.trace.trace_id = rng.Next();
+    m.trace.span_id = rng.Next();
+    m.trace.parent_span_id = rng.Next();
+    std::vector<uint8_t> buf = EncodeMessage(m);
+    ASSERT_EQ(buf.size(), EncodedMessageSize(m));
+    Result<Message> decoded = DecodeMessage(buf.data(), buf.size());
+    ASSERT_TRUE(decoded.ok()) << "iteration " << i;
+    EXPECT_EQ(decoded->trace.trace_id, m.trace.trace_id);
+    EXPECT_EQ(decoded->trace.span_id, m.trace.span_id);
+    EXPECT_EQ(decoded->trace.parent_span_id, m.trace.parent_span_id);
+    EXPECT_EQ(EncodeMessage(*decoded), buf) << "iteration " << i;
   }
 }
 

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <set>
+#include <string>
+
 namespace threev {
 namespace {
 
@@ -63,6 +66,8 @@ Message MakeFullMessage() {
   m.counters_c = {{0, 5}, {1, 6}};
   m.status_code = StatusCode::kAborted;
   m.status_msg = "lock timeout";
+  m.trace = TraceContext{0x1111222233334444ull, 0x5555666677778888ull,
+                         0x9999aaaabbbbccccull};
   return m;
 }
 
@@ -93,6 +98,9 @@ void ExpectMessagesEqual(const Message& a, const Message& b) {
   EXPECT_EQ(a.counters_c, b.counters_c);
   EXPECT_EQ(a.status_code, b.status_code);
   EXPECT_EQ(a.status_msg, b.status_msg);
+  EXPECT_EQ(a.trace.trace_id, b.trace.trace_id);
+  EXPECT_EQ(a.trace.span_id, b.trace.span_id);
+  EXPECT_EQ(a.trace.parent_span_id, b.trace.parent_span_id);
 }
 
 TEST(WireTest, MessageRoundTrip) {
@@ -145,6 +153,28 @@ TEST(WireTest, TrailingGarbageRejected) {
   std::vector<uint8_t> buf = EncodeMessage(m);
   buf.push_back(0xff);
   EXPECT_FALSE(DecodeMessage(buf.data(), buf.size()).ok());
+}
+
+// Every MsgType - including the admin introspection pair - must have a real
+// name (lint's wire-symmetry rule keys on the name table, and trace dumps
+// label kMsgSend/kMsgRecv instants with it) and appear in ToString().
+TEST(MessageTest, EveryMsgTypeHasDistinctNameAndToString) {
+  constexpr int kNumMsgTypes =
+      static_cast<int>(MsgType::kAdminInspectReply) + 1;
+  std::set<std::string> names;
+  for (int t = 0; t < kNumMsgTypes; ++t) {
+    MsgType type = static_cast<MsgType>(t);
+    EXPECT_STRNE(MsgTypeName(type), "?") << "type " << t;
+    names.insert(MsgTypeName(type));
+    Message m;
+    m.type = type;
+    m.from = 4;
+    EXPECT_NE(m.ToString().find(MsgTypeName(type)), std::string::npos)
+        << m.ToString();
+  }
+  EXPECT_EQ(names.size(), static_cast<size_t>(kNumMsgTypes));
+  // One past the end hits the unknown arm, not out-of-bounds behaviour.
+  EXPECT_STREQ(MsgTypeName(static_cast<MsgType>(kNumMsgTypes)), "?");
 }
 
 TEST(WireTest, ApproxBytesIsReasonable) {

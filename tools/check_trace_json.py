@@ -1,0 +1,244 @@
+#!/usr/bin/env python3
+"""Schema checker for Chrome trace_event dumps (Tracer::ChromeJson output).
+
+CI runs one traced bench/simulation pass and archives the JSON; this gate
+catches the dump layer drifting (unbalanced async spans, non-monotone
+timestamps, malformed metadata) before a trace that chrome://tracing or
+Perfetto silently mis-renders lands as an artifact. It validates shape, not
+content: which spans a run produces is the acceptance test's business
+(tests/trace_test.cc), how they are framed is this tool's.
+
+Checked invariants:
+  * top level: object with a `traceEvents` array and an
+    `otherData.dropped` >= 0 ring-overwrite count
+  * every event has ph in {M, b, e, i}; only those four are emitted
+  * non-metadata events carry cat="threev", a non-empty name, integer
+    pid/tid/ts and an args object
+  * async span events (b/e) carry a string id; instants carry s="t"
+  * per (pid, tid) track, timestamps are monotone non-decreasing in file
+    order (metadata events are timeless and exempt)
+  * per (cat, id), b/e events balance: never an e before its b, never a
+    dangling b - the emitter closes ring-truncated spans synthetically,
+    so an unbalanced file is always a dump-layer bug
+
+Usage:
+  tools/check_trace_json.py FILE [FILE...]   validate files (exit 1 on findings)
+  tools/check_trace_json.py --self-test      run the seeded-violation tests
+"""
+
+import argparse
+import json
+import sys
+
+ALLOWED_PH = {"M", "b", "e", "i"}
+
+
+def check_doc(doc, path, errors):
+    def err(msg):
+        errors.append(f"{path}: {msg}")
+
+    if not isinstance(doc, dict):
+        err("top level is not an object")
+        return
+    other = doc.get("otherData")
+    if not isinstance(other, dict) or \
+            isinstance(other.get("dropped"), bool) or \
+            not isinstance(other.get("dropped"), int) or \
+            other["dropped"] < 0:
+        err("`otherData.dropped` must be a non-negative integer")
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        err("`traceEvents` must be an array")
+        return
+
+    last_ts = {}     # (pid, tid) -> last timestamp seen on that track
+    span_depth = {}  # (cat, id) -> open-span depth
+    for i, e in enumerate(events):
+        where = f"traceEvents[{i}]"
+        if not isinstance(e, dict):
+            err(f"{where} is not an object")
+            continue
+        ph = e.get("ph")
+        if ph not in ALLOWED_PH:
+            err(f"{where}.ph = {ph!r} is not one of {sorted(ALLOWED_PH)}")
+            continue
+        if isinstance(e.get("pid"), bool) or not isinstance(e.get("pid"), int) \
+                or isinstance(e.get("tid"), bool) \
+                or not isinstance(e.get("tid"), int):
+            err(f"{where} pid/tid must be integers")
+            continue
+        if ph == "M":
+            # Metadata: names a track, carries no timestamp.
+            if e.get("name") != "thread_name" or \
+                    not isinstance(e.get("args"), dict) or \
+                    not e["args"].get("name"):
+                err(f"{where} metadata must be thread_name with a "
+                    "non-empty args.name")
+            continue
+        if not isinstance(e.get("cat"), str) or not e["cat"]:
+            err(f"{where} missing `cat`")
+        if not isinstance(e.get("name"), str) or not e["name"]:
+            err(f"{where} missing `name`")
+        ts = e.get("ts")
+        if isinstance(ts, bool) or not isinstance(ts, int) or ts < 0:
+            err(f"{where}.ts = {ts!r} must be a non-negative integer")
+            continue
+        if not isinstance(e.get("args"), dict):
+            err(f"{where} missing `args` object")
+        track = (e["pid"], e["tid"])
+        if ts < last_ts.get(track, ts):
+            err(f"{where}.ts = {ts} goes backwards on track "
+                f"pid={track[0]} tid={track[1]} "
+                f"(previous {last_ts[track]})")
+        last_ts[track] = ts
+        if ph == "i":
+            if e.get("s") != "t":
+                err(f"{where} instant must carry s=\"t\" (thread scope)")
+            continue
+        # Async span edge.
+        span_id = e.get("id")
+        if not isinstance(span_id, str) or not span_id:
+            err(f"{where} span event must carry a string `id`")
+            continue
+        key = (e.get("cat"), span_id)
+        if ph == "b":
+            span_depth[key] = span_depth.get(key, 0) + 1
+        else:
+            depth = span_depth.get(key, 0)
+            if depth <= 0:
+                err(f"{where} closes span id={span_id} that was never opened")
+            else:
+                span_depth[key] = depth - 1
+    for (cat, span_id), depth in sorted(span_depth.items()):
+        if depth != 0:
+            errors.append(
+                f"{path}: span id={span_id} (cat={cat}) has {depth} "
+                "unclosed begin(s); the dumper must close truncated spans "
+                "synthetically")
+
+
+def check_file(path):
+    errors = []
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        return [f"{path}: {e}"]
+    check_doc(doc, path, errors)
+    return errors
+
+
+# ---------------------------------------------------------------------------
+# Self-test
+# ---------------------------------------------------------------------------
+
+
+def _valid_doc():
+    return {
+        "traceEvents": [
+            {"ph": "M", "pid": 0, "tid": 0, "name": "thread_name",
+             "args": {"name": "node-0"}},
+            {"ph": "b", "cat": "threev", "name": "txn", "pid": 0, "tid": 0,
+             "ts": 100, "id": "0x1", "args": {"trace": "0x1"}},
+            {"ph": "i", "cat": "threev", "name": "msg_send", "pid": 0,
+             "tid": 0, "ts": 150, "s": "t", "args": {"msg": "SubtxnRequest"}},
+            {"ph": "b", "cat": "threev", "name": "subtxn", "pid": 0, "tid": 1,
+             "ts": 160, "id": "0x2", "args": {"parent": "0x1"}},
+            {"ph": "e", "cat": "threev", "name": "subtxn", "pid": 0, "tid": 1,
+             "ts": 190, "id": "0x2", "args": {}},
+            {"ph": "e", "cat": "threev", "name": "txn", "pid": 0, "tid": 0,
+             "ts": 200, "id": "0x1", "args": {"arg": 1}},
+        ],
+        "displayTimeUnit": "ms",
+        "otherData": {"dropped": 0},
+    }
+
+
+def self_test():
+    failures = []
+
+    def expect(name, doc, want_errors):
+        errors = []
+        check_doc(doc, "t", errors)
+        if bool(errors) != want_errors:
+            failures.append(f"{name}: expected errors={want_errors}, "
+                            f"got {errors or '(none)'}")
+
+    expect("valid doc", _valid_doc(), False)
+
+    doc = _valid_doc()
+    doc["traceEvents"][1]["ph"] = "B"  # sync-begin is not emitted here
+    expect("unknown ph", doc, True)
+
+    doc = _valid_doc()
+    doc["traceEvents"][2]["ts"] = 50  # behind the b at ts=100, same track
+    expect("non-monotone track", doc, True)
+
+    doc = _valid_doc()
+    del doc["traceEvents"][5]  # txn span left open
+    expect("dangling begin", doc, True)
+
+    doc = _valid_doc()
+    doc["traceEvents"][4]["id"] = "0x7"  # closes a span never opened
+    expect("end before begin", doc, True)
+
+    doc = _valid_doc()
+    del doc["traceEvents"][1]["id"]
+    expect("span edge without id", doc, True)
+
+    doc = _valid_doc()
+    del doc["traceEvents"][2]["s"]
+    expect("instant without scope", doc, True)
+
+    doc = _valid_doc()
+    doc["traceEvents"][0]["args"] = {}
+    expect("anonymous metadata", doc, True)
+
+    doc = _valid_doc()
+    doc["otherData"]["dropped"] = -1
+    expect("negative dropped", doc, True)
+
+    doc = _valid_doc()
+    doc["traceEvents"][3]["ts"] = True  # bool is not an int here
+    expect("bool masquerading as ts", doc, True)
+
+    # Timestamps may tie (same-instant events are ordered by the dumper) and
+    # tracks are independent: tid=1 restarting below tid=0's clock is fine.
+    doc = _valid_doc()
+    doc["traceEvents"][3]["ts"] = 10
+    doc["traceEvents"][4]["ts"] = 10
+    expect("independent track clocks", doc, False)
+
+    if failures:
+        print("check_trace_json self-test FAILED:", file=sys.stderr)
+        for f in failures:
+            print("  " + f, file=sys.stderr)
+        return 1
+    print("check_trace_json self-test OK")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("files", nargs="*", help="JSON files to validate")
+    parser.add_argument("--self-test", action="store_true")
+    args = parser.parse_args()
+    if args.self_test:
+        return self_test()
+    if not args.files:
+        parser.error("no files given")
+    all_errors = []
+    for path in args.files:
+        all_errors.extend(check_file(path))
+    for e in all_errors:
+        print(e)
+    if all_errors:
+        print(f"check_trace_json: {len(all_errors)} finding(s)",
+              file=sys.stderr)
+        return 1
+    print(f"check_trace_json: OK ({len(args.files)} file(s))")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -43,6 +43,16 @@ analysis can express, because they live above the type system:
                      VersionedStore is the documented, load-bearing opt-out
                      this rule exists to keep honest.
 
+  metrics-observability
+                     Every field of Metrics (atomic counter or Histogram)
+                     is surfaced by BOTH Metrics::Report() (metrics.cc) and
+                     the Prometheus exporter (trace/prometheus.cc). A
+                     counter that is bumped but never exported is invisible
+                     exactly when someone needs it; checking the function
+                     bodies (not the whole files - Reset() and MergeFrom()
+                     also name every field) keeps the two surfaces from
+                     silently drifting as fields are added.
+
 Usage:
   tools/threev_lint.py [--root REPO_ROOT]   lint the tree (exit 1 on findings)
   tools/threev_lint.py --self-test          run the seeded-violation tests
@@ -430,6 +440,80 @@ def check_analysis_optout(files):
     return findings
 
 
+# ---------------------------------------------------------------------------
+# Rule: metrics observability
+# ---------------------------------------------------------------------------
+
+METRICS_DECL = "src/threev/metrics/metrics.h"
+METRICS_SURFACES = [
+    # (display label, file, function whose body must mention every field)
+    ("Report()", "src/threev/metrics/metrics.cc", "Metrics::Report"),
+    ("the Prometheus exporter", "src/threev/trace/prometheus.cc",
+     "PrometheusText"),
+]
+
+
+def parse_metrics_fields(code):
+    m = re.search(r"struct\s+Metrics\s*\{(.*?)\n\};", code, re.S)
+    if m is None:
+        return []
+    body = m.group(1)
+    fields = re.findall(r"std::atomic<[^>]+>\s+(\w+)\s*\{", body)
+    fields += re.findall(r"\bHistogram\s+(\w+)\s*;", body)
+    return fields
+
+
+def extract_function_body(code, name):
+    """Returns the brace-enclosed body of the first definition of `name`,
+    or None. Body extraction matters: Reset()/MergeFrom() in the same file
+    also name every field, so whole-file search would never fire."""
+    m = re.search(re.escape(name) + r"\s*\(", code)
+    if m is None:
+        return None
+    open_brace = code.find("{", m.end())
+    if open_brace == -1:
+        return None
+    depth = 0
+    for i in range(open_brace, len(code)):
+        if code[i] == "{":
+            depth += 1
+        elif code[i] == "}":
+            depth -= 1
+            if depth == 0:
+                return code[open_brace + 1:i]
+    return None
+
+
+def check_metrics_observability(files):
+    findings = []
+    paths = by_path(files)
+    decl = paths.get(METRICS_DECL)
+    if decl is None:
+        return findings
+    fields = parse_metrics_fields(decl.code)
+    if not fields:
+        findings.append(Finding(
+            "metrics-observability", METRICS_DECL, 1,
+            "could not parse the Metrics struct's fields"))
+        return findings
+    for label, path, fn in METRICS_SURFACES:
+        impl = paths.get(path)
+        body = extract_function_body(impl.code, fn) if impl else None
+        if body is None:
+            findings.append(Finding(
+                "metrics-observability", path, 1,
+                f"could not locate the body of {fn}"))
+            continue
+        for field in fields:
+            if re.search(r"\b" + field + r"\b", body) is None:
+                findings.append(Finding(
+                    "metrics-observability", path, 1,
+                    f"Metrics::{field} is not surfaced by {label}; a counter "
+                    "that is recorded but never exported is invisible "
+                    "exactly when someone needs it"))
+    return findings
+
+
 RULES = [
     check_wire_symmetry,
     check_lock_blocking,
@@ -437,6 +521,7 @@ RULES = [
     check_determinism,
     check_capability,
     check_analysis_optout,
+    check_metrics_observability,
 ]
 
 
@@ -655,6 +740,60 @@ void VersionedStore::Bad2() {
                         "  THREEV_THREAD_ANNOTATION(no_thread_safety_analysis)\n")
     expect("macro definition site exempt", check_analysis_optout([macro_def]),
            "analysis-optout", False)
+
+    # --- metrics observability -------------------------------------------
+    metrics_h = _mkfile(
+        "src/threev/metrics/metrics.h",
+        "struct Metrics {\n"
+        "  std::atomic<int64_t> txns_committed{0};\n"
+        "  std::atomic<int64_t> lock_waits{0};\n"
+        "  Histogram update_latency;\n"
+        "};\n")
+    # Reset() names every field too - only Report()'s own body may satisfy
+    # the rule, proving the brace extraction works.
+    metrics_cc_ok = _mkfile(
+        "src/threev/metrics/metrics.cc",
+        "void Metrics::Reset() {\n"
+        "  txns_committed = 0;\n  lock_waits = 0;\n  update_latency.Reset();\n"
+        "}\n"
+        "std::string Metrics::Report() const {\n"
+        "  os << txns_committed.load() << lock_waits.load()\n"
+        "     << update_latency.Summary();\n"
+        "}\n")
+    prom_cc_ok = _mkfile(
+        "src/threev/trace/prometheus.cc",
+        "std::string PrometheusText(const Metrics& m) {\n"
+        "  AppendCounter(&out, \"txns_committed\", m.txns_committed.load());\n"
+        "  AppendCounter(&out, \"lock_waits\", m.lock_waits.load());\n"
+        "  AppendHistogramSummary(&out, \"update_latency\", m.update_latency);\n"
+        "  return out;\n"
+        "}\n")
+    expect("metrics surfaced everywhere",
+           check_metrics_observability([metrics_h, metrics_cc_ok, prom_cc_ok]),
+           "metrics-observability", False)
+    # Seed: lock_waits vanishes from Report() (but stays in Reset()).
+    metrics_cc_bad = _mkfile(
+        "src/threev/metrics/metrics.cc",
+        "void Metrics::Reset() {\n"
+        "  txns_committed = 0;\n  lock_waits = 0;\n  update_latency.Reset();\n"
+        "}\n"
+        "std::string Metrics::Report() const {\n"
+        "  os << txns_committed.load() << update_latency.Summary();\n"
+        "}\n")
+    expect("metrics counter missing from Report",
+           check_metrics_observability([metrics_h, metrics_cc_bad, prom_cc_ok]),
+           "metrics-observability", True)
+    # Seed: the histogram vanishes from the Prometheus exporter.
+    prom_cc_bad = _mkfile(
+        "src/threev/trace/prometheus.cc",
+        "std::string PrometheusText(const Metrics& m) {\n"
+        "  AppendCounter(&out, \"txns_committed\", m.txns_committed.load());\n"
+        "  AppendCounter(&out, \"lock_waits\", m.lock_waits.load());\n"
+        "  return out;\n"
+        "}\n")
+    expect("metrics histogram missing from exporter",
+           check_metrics_observability([metrics_h, metrics_cc_ok, prom_cc_bad]),
+           "metrics-observability", True)
 
     # --- stripping machinery ---------------------------------------------
     stripped = strip_comments_and_strings(
