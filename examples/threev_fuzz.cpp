@@ -1,0 +1,237 @@
+// threev_fuzz: deterministic schedule-exploration fuzzer CLI.
+//
+// One 64-bit seed derives a whole run - workload plan, fault schedule,
+// network delays - executed over SimNet on one thread, bit-reproducibly
+// (same seed => same history hash). After every run an oracle battery
+// checks the paper's structural invariants, counter-matrix conservation,
+// serializability with the version-cut rule, and WAL-replay equivalence.
+//
+//   threev_fuzz --seed=42                 one full-profile run
+//   threev_fuzz --seed=42 --quick         smoke profile (CI per-PR)
+//   threev_fuzz --sweep=500 --quick       seeds 1..500; exits 1 on failure
+//   threev_fuzz --seed=42 --runs=3        determinism check (hash equality)
+//   threev_fuzz --seed=42 --shrink        minimize a failing seed, write
+//                                         a repro artifact (JSON)
+//   threev_fuzz --replay=repro.json       re-run a shrunk artifact
+//   threev_fuzz --inject-bug=skip-completion --seed=42 --shrink
+//                                         validate the oracles + shrinker
+//                                         against a known protocol bug
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "threev/fuzz/fuzz.h"
+#include "threev/fuzz/plan.h"
+#include "threev/fuzz/shrink.h"
+
+namespace {
+
+using threev::fuzz::BuildPlan;
+using threev::fuzz::FilterPlan;
+using threev::fuzz::FuzzOptions;
+using threev::fuzz::FuzzPlan;
+using threev::fuzz::FuzzResult;
+using threev::fuzz::PlanFromRepro;
+using threev::fuzz::ReproFromJson;
+using threev::fuzz::ReproSpec;
+using threev::fuzz::ReproToJson;
+using threev::fuzz::RunPlan;
+using threev::fuzz::Shrink;
+using threev::fuzz::ShrinkOutcome;
+
+struct Flags {
+  uint64_t seed = 1;
+  bool seed_set = false;
+  bool quick = false;
+  uint64_t sweep = 0;       // run seeds 1..sweep
+  uint64_t sweep_start = 1;
+  int runs = 1;             // repeat the same seed, compare hashes
+  bool shrink = false;
+  std::string replay;       // repro artifact path
+  std::string artifacts_dir = ".";
+  std::string scratch_dir;
+  std::string inject_bug;   // "skip-completion"
+  int bug_node = 0;
+  bool print_plan = false;
+  bool help = false;
+};
+
+bool ParseFlag(const char* arg, const char* name, std::string* out) {
+  size_t n = std::strlen(name);
+  if (std::strncmp(arg, name, n) == 0 && arg[n] == '=') {
+    *out = arg + n + 1;
+    return true;
+  }
+  return false;
+}
+
+Flags ParseFlags(int argc, char** argv) {
+  Flags flags;
+  for (int i = 1; i < argc; ++i) {
+    std::string v;
+    if (ParseFlag(argv[i], "--seed", &v)) {
+      flags.seed = std::stoull(v);
+      flags.seed_set = true;
+    } else if (std::strcmp(argv[i], "--quick") == 0) {
+      flags.quick = true;
+    } else if (ParseFlag(argv[i], "--sweep", &v)) {
+      flags.sweep = std::stoull(v);
+    } else if (ParseFlag(argv[i], "--sweep-start", &v)) {
+      flags.sweep_start = std::stoull(v);
+    } else if (ParseFlag(argv[i], "--runs", &v)) {
+      flags.runs = std::stoi(v);
+    } else if (std::strcmp(argv[i], "--shrink") == 0) {
+      flags.shrink = true;
+    } else if (ParseFlag(argv[i], "--replay", &v)) {
+      flags.replay = v;
+    } else if (ParseFlag(argv[i], "--artifacts-dir", &v)) {
+      flags.artifacts_dir = v;
+    } else if (ParseFlag(argv[i], "--scratch-dir", &v)) {
+      flags.scratch_dir = v;
+    } else if (ParseFlag(argv[i], "--inject-bug", &v)) {
+      flags.inject_bug = v;
+    } else if (ParseFlag(argv[i], "--bug-node", &v)) {
+      flags.bug_node = std::stoi(v);
+    } else if (std::strcmp(argv[i], "--print-plan") == 0) {
+      flags.print_plan = true;
+    } else {
+      flags.help = true;
+    }
+  }
+  return flags;
+}
+
+FuzzOptions MakeOptions(const Flags& flags) {
+  FuzzOptions options;
+  options.scratch_dir = flags.scratch_dir;
+  if (flags.inject_bug == "skip-completion") {
+    options.injected_bug = FuzzOptions::InjectedBug::kSkipCompletionCounter;
+    options.bug_node = flags.bug_node;
+  } else if (!flags.inject_bug.empty()) {
+    std::fprintf(stderr, "unknown --inject-bug=%s\n",
+                 flags.inject_bug.c_str());
+    std::exit(2);
+  }
+  return options;
+}
+
+std::string ArtifactPath(const Flags& flags, uint64_t seed) {
+  return (std::filesystem::path(flags.artifacts_dir) /
+          ("threev_fuzz_repro_" + std::to_string(seed) + ".json"))
+      .string();
+}
+
+// Shrinks a failing plan and writes the repro artifact; returns its path.
+std::string ShrinkAndSave(const FuzzPlan& plan, const FuzzOptions& options,
+                          const Flags& flags) {
+  ShrinkOutcome outcome = Shrink(plan, options);
+  if (!outcome.shrunk) return "";
+  std::string path = ArtifactPath(flags, plan.seed);
+  std::ofstream out(path);
+  out << ReproToJson(outcome.repro) << "\n";
+  out.close();
+  std::printf(
+      "shrink: %zu candidate runs, minimized to %zu events "
+      "(%zu txns + %zu faults)\nrepro artifact: %s\nminimized run: %s\n",
+      outcome.candidate_runs, outcome.events, outcome.repro.txns.size(),
+      outcome.repro.faults.size(), path.c_str(),
+      outcome.final_result.Summary().c_str());
+  return path;
+}
+
+int RunOne(const Flags& flags) {
+  FuzzOptions options = MakeOptions(flags);
+  FuzzPlan plan = BuildPlan(flags.seed, flags.quick);
+  if (flags.print_plan) std::printf("%s\n", plan.Summary().c_str());
+
+  uint64_t first_hash = 0;
+  for (int run = 0; run < flags.runs; ++run) {
+    FuzzResult result = RunPlan(plan, options);
+    std::printf("seed=%llu run=%d: %s\n",
+                static_cast<unsigned long long>(plan.seed), run,
+                result.Summary().c_str());
+    if (run == 0) {
+      first_hash = result.history_hash;
+    } else if (result.history_hash != first_hash) {
+      std::printf("NONDETERMINISM: run %d hash differs from run 0\n", run);
+      return 1;
+    }
+    if (!result.ok) {
+      if (flags.shrink) ShrinkAndSave(plan, options, flags);
+      return 1;
+    }
+  }
+  return 0;
+}
+
+int RunSweep(const Flags& flags) {
+  FuzzOptions options = MakeOptions(flags);
+  int failures = 0;
+  for (uint64_t seed = flags.sweep_start;
+       seed < flags.sweep_start + flags.sweep; ++seed) {
+    FuzzPlan plan = BuildPlan(seed, flags.quick);
+    FuzzResult result = RunPlan(plan, options);
+    if (!result.ok) {
+      ++failures;
+      std::printf("seed=%llu: %s\n", static_cast<unsigned long long>(seed),
+                  result.Summary().c_str());
+      if (flags.shrink) ShrinkAndSave(plan, options, flags);
+    }
+  }
+  std::printf("sweep: %llu seeds [%llu..%llu], %d failing\n",
+              static_cast<unsigned long long>(flags.sweep),
+              static_cast<unsigned long long>(flags.sweep_start),
+              static_cast<unsigned long long>(flags.sweep_start +
+                                              flags.sweep - 1),
+              failures);
+  return failures == 0 ? 0 : 1;
+}
+
+int RunReplay(const Flags& flags) {
+  std::ifstream in(flags.replay);
+  if (!in) {
+    std::fprintf(stderr, "cannot open %s\n", flags.replay.c_str());
+    return 2;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  ReproSpec repro;
+  std::string error;
+  if (!ReproFromJson(buf.str(), &repro, &error)) {
+    std::fprintf(stderr, "bad repro artifact %s: %s\n", flags.replay.c_str(),
+                 error.c_str());
+    return 2;
+  }
+  if (!repro.note.empty()) {
+    std::printf("note: %s\n", repro.note.c_str());
+  }
+  FuzzPlan plan = PlanFromRepro(repro);
+  if (flags.print_plan) std::printf("%s\n", plan.Summary().c_str());
+  FuzzResult result = RunPlan(plan, MakeOptions(flags));
+  std::printf("replay seed=%llu: %s\n",
+              static_cast<unsigned long long>(repro.seed),
+              result.Summary().c_str());
+  return result.ok ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags = ParseFlags(argc, argv);
+  if (flags.help) {
+    std::printf(
+        "usage: threev_fuzz [--seed=N] [--quick] [--sweep=N]\n"
+        "         [--sweep-start=N] [--runs=K] [--shrink] [--replay=FILE]\n"
+        "         [--artifacts-dir=DIR] [--scratch-dir=DIR]\n"
+        "         [--inject-bug=skip-completion] [--bug-node=I]\n"
+        "         [--print-plan]\n");
+    return 2;
+  }
+  if (!flags.replay.empty()) return RunReplay(flags);
+  if (flags.sweep > 0) return RunSweep(flags);
+  return RunOne(flags);
+}

@@ -75,7 +75,8 @@ uint64_t Client::Submit(NodeId origin, const TxnSpec& spec,
   return seq;
 }
 
-uint64_t Client::Inspect(NodeId target, InspectCallback cb) {
+uint64_t Client::Inspect(NodeId target, Version counters_version,
+                         InspectCallback cb) {
   uint64_t seq;
   {
     MutexLock lock(mu_);
@@ -86,6 +87,10 @@ uint64_t Client::Inspect(NodeId target, InspectCallback cb) {
   m.type = MsgType::kAdminInspect;
   m.from = id_;
   m.seq = seq;
+  m.version = counters_version;
+  // Marks the version as explicit: version 0 is a real (pre-advancement)
+  // version, distinct from the "use current vu" default of plain probes.
+  m.flag = counters_version != 0;
   network_->Send(target, std::move(m));
   return seq;
 }
@@ -154,6 +159,9 @@ NodeOptions Cluster::MakeNodeOptions(size_t i) const {
   }
   node_options.twopc_retry_interval = options_.twopc_retry_interval;
   node_options.tracer = options_.tracer;
+  node_options.test_skip_first_completion =
+      options_.test_skip_completion_node >= 0 &&
+      static_cast<size_t>(options_.test_skip_completion_node) == i;
   return node_options;
 }
 

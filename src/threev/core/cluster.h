@@ -50,7 +50,14 @@ class Client {
 
   // Sends a kAdminInspect probe to any endpoint (node or coordinator);
   // `cb` fires with the decoded reply. Returns the request id.
-  uint64_t Inspect(NodeId target, InspectCallback cb) EXCLUDES(mu_);
+  // `counters_version` selects which version's counter row/column the
+  // reply carries (0 = the replier's current update version), letting the
+  // fuzz invariant probe walk every live version without node internals.
+  uint64_t Inspect(NodeId target, Version counters_version, InspectCallback cb)
+      EXCLUDES(mu_);
+  uint64_t Inspect(NodeId target, InspectCallback cb) {
+    return Inspect(target, /*counters_version=*/0, std::move(cb));
+  }
 
   // Requests whose results have not arrived yet.
   size_t InFlight() const EXCLUDES(mu_);
@@ -93,6 +100,10 @@ struct ClusterOptions {
   // coordinator, the client and (via the owner) the transport. Unowned,
   // may be null.
   Tracer* tracer = nullptr;
+  // Test-only (fuzz-oracle validation): the node that silently skips its
+  // first completion-counter increment (NodeOptions::
+  // test_skip_first_completion). -1 disables. Never set outside tests.
+  int test_skip_completion_node = -1;
 };
 
 // Owns and wires a full 3V deployment on one Network: `num_nodes` database

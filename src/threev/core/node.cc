@@ -105,6 +105,9 @@ void Node::RecoverFromLog() {
     }
   }
   for (const auto& [txn, commit] : decisions) {
+    std::set<NodeId> waiting;
+    for (NodeId p = 0; p < options_.num_nodes; ++p) waiting.insert(p);
+    recovered_decisions_.emplace(txn, std::make_pair(commit, waiting));
     for (NodeId p = 0; p < options_.num_nodes; ++p) {
       Message m;
       m.type = MsgType::kDecision;
@@ -114,6 +117,39 @@ void Node::RecoverFromLog() {
       network_->Send(p, std::move(m));
     }
   }
+  // The broadcast alone is not enough: a single dropped kDecision here
+  // would strand a prepared participant on its locks forever, because the
+  // pre-crash root's in-memory retry watchdog died with it. Retry against
+  // the ack set until every node has confirmed.
+  if (!decisions.empty()) ArmRecoveryDecisionRetry();
+}
+
+void Node::ArmRecoveryDecisionRetry() {
+  if (options_.twopc_retry_interval <= 0) return;
+  network_->ScheduleAfter(options_.twopc_retry_interval, [this] {
+    if (halted_.load(std::memory_order_acquire)) return;
+    std::vector<std::pair<NodeId, Message>> resend;
+    {
+      MutexLock lock(mu_);
+      if (recovered_decisions_.empty()) return;
+      for (const auto& [txn, state] : recovered_decisions_) {
+        for (NodeId p : state.second) {
+          Message m;
+          m.type = MsgType::kDecision;
+          m.from = options_.id;
+          m.txn = txn;
+          m.flag = state.first;
+          resend.emplace_back(p, std::move(m));
+        }
+      }
+    }
+    if (metrics_ != nullptr && !resend.empty()) {
+      metrics_->twopc_retransmits.fetch_add(
+          static_cast<int64_t>(resend.size()), std::memory_order_relaxed);
+    }
+    for (auto& [to, m] : resend) network_->Send(to, std::move(m));
+    ArmRecoveryDecisionRetry();
+  });
 }
 
 void Node::LogRecord(const WalRecord& rec, bool force) {
@@ -877,8 +913,15 @@ void Node::CompleteSubtxn(PendingSubtxn rec) {
   // whole subtree has completed. For non-commuting transactions the
   // increment is deferred to the 2PC decision (Section 5 step 6).
   if (rec.klass != TxnClass::kNonCommuting) {
-    counters_.IncC(rec.version, rec.source);
-    LogCounter(rec.version, /*is_r=*/false, rec.source);
+    if (options_.test_skip_first_completion &&
+        !test_completion_skipped_.exchange(true)) {
+      // Injected protocol bug (see NodeOptions): lose exactly one
+      // completion-counter increment so the fuzz oracle battery has a
+      // known-bad target to catch.
+    } else {
+      counters_.IncC(rec.version, rec.source);
+      LogCounter(rec.version, /*is_r=*/false, rec.source);
+    }
   }
   if (rec.is_root) {
     ResolveRoot(std::move(rec));
@@ -1147,6 +1190,17 @@ void Node::OnDecisionAck(const Message& msg) {
   PendingSubtxn rec;
   {
     MutexLock lock(mu_);
+    // Recovery re-broadcasts resolve against their own ack set: the txn
+    // has no pending root record (it finished or died pre-crash), only a
+    // durably logged decision being re-driven to completion.
+    auto recovered = recovered_decisions_.find(msg.txn);
+    if (recovered != recovered_decisions_.end()) {
+      recovered->second.second.erase(msg.from);
+      if (recovered->second.second.empty()) {
+        recovered_decisions_.erase(recovered);
+      }
+      return;
+    }
     auto rit = nc_roots_.find(msg.txn);
     if (rit == nc_roots_.end()) return;
     auto pit = pending_.find(rit->second);
@@ -1308,9 +1362,11 @@ void Node::OnAdminInspect(const Message& msg) {
     InspectPutNum(&m, "nc_txns", static_cast<int64_t>(nc_txns_.size()));
     InspectPutNum(&m, "gate_waiters",
                   static_cast<int64_t>(gate_waiters_.size()));
-    // Counter rows for the probed version (msg.version), defaulting to the
+    // Counter rows for the probed version. flag=true marks the version
+    // field as explicit even when it is 0 (version 0 carries real read
+    // traffic before the first advancement); otherwise 0 defaults to the
     // current update version.
-    counter_version = msg.version != 0 ? msg.version : vu_;
+    counter_version = msg.flag || msg.version != 0 ? msg.version : vu_;
   }
   InspectPutStr(&m, "mode",
                 options_.mode == NodeMode::kPure3V ? "pure3v" : "nc3v");
@@ -1319,6 +1375,21 @@ void Node::OnAdminInspect(const Message& msg) {
   InspectPutNum(&m, "lock_waiters",
                 static_cast<int64_t>(locks_.WaiterCount()));
   InspectPutNum(&m, "store_keys", static_cast<int64_t>(store_.KeyCount()));
+  // Fuzz-oracle surface (DESIGN.md section 13): the paper's <=3-versions
+  // bound as this store observed it, and which counter-matrix rows are
+  // still live (comma-separated versions) so an external prober knows the
+  // exact set of versions to re-probe for conservation - all without
+  // touching node internals.
+  InspectPutNum(&m, "max_versions_observed",
+                static_cast<int64_t>(store_.MaxVersionsObserved()));
+  {
+    std::string active;
+    for (Version v : counters_.ActiveVersions()) {
+      if (!active.empty()) active.push_back(',');
+      active += std::to_string(v);
+    }
+    InspectPutStr(&m, "active_versions", active);
+  }
   {
     MutexLock lock(wal_mu_);
     if (wal_ != nullptr) {

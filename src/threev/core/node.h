@@ -89,6 +89,12 @@ struct NodeOptions {
   // the node records spans/instants into this shared flight recorder and
   // answers kAdminInspect probes with richer detail. Unowned.
   Tracer* tracer = nullptr;
+  // Test-only protocol-bug injection (DESIGN.md section 13): silently skip
+  // this node's first completion-counter increment. Breaks counter-matrix
+  // conservation, so quiescence over the affected version can never be
+  // detected - exists solely to prove the fuzz oracles catch exactly this
+  // class of bug. Never set outside tests.
+  bool test_skip_first_completion = false;
 };
 
 // One database node (site) running the 3V protocol.
@@ -288,6 +294,10 @@ class Node {
   void ReserveSeqsLocked() REQUIRES(mu_);
   // Root-side 2PC retransmission watchdog; re-arms until the root resolves.
   void ArmTwopcRetry(TxnId txn);
+  // Recovery-side decision retransmission: a restarted root's re-broadcast
+  // decisions are retried until every node acked (a fire-once broadcast
+  // plus one lost message would wedge a prepared participant forever).
+  void ArmRecoveryDecisionRetry() EXCLUDES(mu_);
 
   // --- helpers ---
   // `trace` attributes the switch instant to whoever caused it (the
@@ -317,6 +327,8 @@ class Node {
   Mutex wal_mu_;
   std::unique_ptr<WriteAheadLog> wal_ PT_GUARDED_BY(wal_mu_);
   std::atomic<bool> halted_{false};
+  // Arms NodeOptions::test_skip_first_completion exactly once.
+  std::atomic<bool> test_completion_skipped_{false};
 
   mutable Mutex mu_;
   Version vu_ GUARDED_BY(mu_);
@@ -332,6 +344,11 @@ class Node {
   std::map<SubtxnId, PendingSubtxn> pending_ GUARDED_BY(mu_);
   // Routes kVote / kDecisionAck.
   std::map<TxnId, SubtxnId> nc_roots_ GUARDED_BY(mu_);
+  // Recovery re-broadcast decisions still awaiting per-node acks. Keyed by
+  // txn; value = (commit flag, nodes that have not acked yet). Liveness
+  // only - the decision itself is already durably logged.
+  std::map<TxnId, std::pair<bool, std::set<NodeId>>> recovered_decisions_
+      GUARDED_BY(mu_);
   std::unordered_map<TxnId, NcTxnState> nc_txns_ GUARDED_BY(mu_);
   // NC3V version gate: continuations waiting for vr == version - 1.
   std::vector<std::pair<Version, std::function<void()>>> gate_waiters_

@@ -1,0 +1,74 @@
+#include "threev/fuzz/fault_plan.h"
+
+namespace threev::fuzz {
+
+FaultPlan::FaultPlan(SimNet* net, Cluster* cluster)
+    : net_(net), cluster_(cluster), delivered_by_type_(256, 0) {
+  net_->SetDeliveryTap(
+      [this](NodeId to, const Message& msg) { OnDelivery(to, msg); });
+}
+
+FaultPlan::~FaultPlan() { net_->SetDeliveryTap(nullptr); }
+
+size_t FaultPlan::Arm(CrashPoint point) {
+  armed_.push_back(Armed{point, 0, false});
+  return armed_.size() - 1;
+}
+
+int64_t FaultPlan::Delivered(MsgType type) const {
+  return delivered_by_type_[static_cast<uint8_t>(type)];
+}
+
+void FaultPlan::OnDelivery(NodeId to, const Message& msg) {
+  delivered_by_type_[static_cast<uint8_t>(msg.type)] += 1;
+  if (observer_) observer_(to, msg);
+  for (Armed& armed : armed_) {
+    NodeId trigger = armed.point.trigger_node == CrashPoint::kTriggerIsVictim
+                         ? armed.point.victim
+                         : armed.point.trigger_node;
+    if (armed.fired || to != trigger || msg.type != armed.point.at_type) {
+      continue;
+    }
+    if (++armed.seen < armed.point.nth) continue;
+    armed.fired = true;
+    ++fired_count_;
+    Cluster* cluster = cluster_;
+    NodeId victim = armed.point.victim;
+    cluster->KillNode(victim);
+    net_->ScheduleAfter(armed.point.downtime,
+                        [cluster, victim] { cluster->RestartNode(victim); });
+    // The triggering message died with the node (SimNet re-checks liveness
+    // after the tap); nothing more can fire on this delivery.
+    return;
+  }
+}
+
+bool RunUntilDeadline(EventLoop& loop, Micros deadline,
+                      const std::function<bool()>& pred) {
+  loop.RunUntil([&] { return pred() || loop.Now() >= deadline; });
+  return pred();
+}
+
+Status DriveAdvancement(SimNet& net, Cluster& cluster, Micros cap) {
+  EventLoop& loop = net.loop();
+  Micros deadline = loop.Now() + cap;
+  if (!RunUntilDeadline(loop, deadline, [&] {
+        return !cluster.coordinator().running();
+      })) {
+    return Status::TimedOut("stale advancement never finished");
+  }
+  bool done = false;
+  Status result;
+  if (!cluster.coordinator().StartAdvancement([&](Status s) {
+        result = std::move(s);
+        done = true;
+      })) {
+    return Status::Internal("StartAdvancement refused while idle");
+  }
+  if (!RunUntilDeadline(loop, deadline, [&] { return done; })) {
+    return Status::TimedOut("advancement did not complete before deadline");
+  }
+  return result;
+}
+
+}  // namespace threev::fuzz

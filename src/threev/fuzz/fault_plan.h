@@ -1,0 +1,95 @@
+#ifndef THREEV_FUZZ_FAULT_PLAN_H_
+#define THREEV_FUZZ_FAULT_PLAN_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "threev/common/status.h"
+#include "threev/core/cluster.h"
+#include "threev/net/sim_net.h"
+
+namespace threev::fuzz {
+
+// A crash choreography: kill `victim` the moment the `nth` delivery of
+// `at_type` reaches it (the triggering message dies with the node) and
+// restart it `downtime` virtual microseconds later. Promoted from the
+// ad-hoc delivery taps that tests/crash_recovery_test.cc used to hand-roll
+// per test, so hand-written crash tests and generated fuzz schedules share
+// one implementation.
+struct CrashPoint {
+  MsgType at_type = MsgType::kStartAdvancement;
+  NodeId victim = 0;
+  uint32_t nth = 1;
+  Micros downtime = 20'000;
+  // Node whose delivery of `at_type` pulls the trigger. Defaults to the
+  // victim; set it to a different node for cross-node choreography ("kill
+  // the 2PC root the instant its prepare reaches a participant").
+  NodeId trigger_node = kTriggerIsVictim;
+  static constexpr NodeId kTriggerIsVictim = ~NodeId{0};
+};
+
+// Owns the SimNet delivery tap for its lifetime: counts deliveries, fires
+// armed crash points (kill + scheduled restart), and forwards every
+// delivered message to an optional observer (the fuzz driver's history
+// hasher / counter tally). Single-threaded, like SimNet itself. The
+// destructor detaches the tap; scheduled restarts stay valid because they
+// capture only the cluster pointer.
+class FaultPlan {
+ public:
+  FaultPlan(SimNet* net, Cluster* cluster);
+  ~FaultPlan();
+
+  FaultPlan(const FaultPlan&) = delete;
+  FaultPlan& operator=(const FaultPlan&) = delete;
+
+  // Arms one crash point; returns its index for Fired(). Safe to call
+  // between (not during) event-loop turns.
+  size_t Arm(CrashPoint point);
+
+  bool Fired(size_t index) const { return armed_[index].fired; }
+  size_t fired_count() const { return fired_count_; }
+
+  // Deliveries observed per message type (post-liveness, pre-handler),
+  // including the crash-triggering deliveries themselves.
+  int64_t Delivered(MsgType type) const;
+
+  // Forwarded every observed delivery, before crash points are evaluated
+  // (so a crash-triggering message is still observed).
+  using Observer = std::function<void(NodeId to, const Message&)>;
+  void SetObserver(Observer observer) { observer_ = std::move(observer); }
+
+ private:
+  struct Armed {
+    CrashPoint point;
+    uint32_t seen = 0;
+    bool fired = false;
+  };
+
+  void OnDelivery(NodeId to, const Message& msg);
+
+  SimNet* net_;
+  Cluster* cluster_;
+  Observer observer_;
+  std::vector<Armed> armed_;
+  size_t fired_count_ = 0;
+  std::vector<int64_t> delivered_by_type_;
+};
+
+// Runs the loop until `pred()` holds or virtual time reaches `deadline`
+// (whichever first; also stops if the event queue drains). Returns whether
+// the predicate held. The bounded wait is what turns a protocol livelock
+// into an oracle failure instead of a hung test.
+bool RunUntilDeadline(EventLoop& loop, Micros deadline,
+                      const std::function<bool()>& pred);
+
+// One advancement driven to completion: waits out any stale run, starts a
+// fresh one and runs the loop until its done-callback fires - all within
+// `cap` extra virtual microseconds. Returns the advancement's status, or a
+// timeout/internal error if it could not start or finish.
+Status DriveAdvancement(SimNet& net, Cluster& cluster,
+                        Micros cap = 5'000'000);
+
+}  // namespace threev::fuzz
+
+#endif  // THREEV_FUZZ_FAULT_PLAN_H_

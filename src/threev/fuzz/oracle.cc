@@ -1,0 +1,294 @@
+#include "threev/fuzz/oracle.h"
+
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "threev/common/ids.h"
+#include "threev/durability/recovery.h"
+#include "threev/verify/checker.h"
+
+namespace threev::fuzz {
+namespace {
+
+constexpr Micros kProbeDeadline = 2'000'000;
+
+std::vector<Version> ParseActiveVersions(const std::string& csv) {
+  std::vector<Version> out;
+  uint64_t cur = 0;
+  bool in_number = false;
+  for (char c : csv) {
+    if (c >= '0' && c <= '9') {
+      cur = cur * 10 + static_cast<uint64_t>(c - '0');
+      in_number = true;
+    } else if (in_number) {
+      out.push_back(static_cast<Version>(cur));
+      cur = 0;
+      in_number = false;
+    }
+  }
+  if (in_number) out.push_back(static_cast<Version>(cur));
+  return out;
+}
+
+// One InspectAll round-trip, bounded by virtual time.
+bool GatherInspections(Cluster& cluster, SimNet& net,
+                       std::vector<NodeInspection>* out) {
+  bool got = false;
+  cluster.InspectAll([&](std::vector<NodeInspection> replies) {
+    *out = std::move(replies);
+    got = true;
+  });
+  return RunUntilDeadline(net.loop(), net.loop().Now() + kProbeDeadline,
+                          [&] { return got; });
+}
+
+}  // namespace
+
+std::vector<std::string> InspectionProbe(Cluster& cluster, SimNet& net) {
+  std::vector<std::string> failures;
+  std::vector<NodeInspection> replies;
+  if (!GatherInspections(cluster, net, &replies)) {
+    failures.push_back("inspection probe: InspectAll never completed");
+    return failures;
+  }
+  size_t n = cluster.num_nodes();
+  const NodeInspection* coord = nullptr;
+  std::vector<const NodeInspection*> nodes;
+  for (const NodeInspection& r : replies) {
+    if (static_cast<size_t>(r.node) < n) {
+      nodes.push_back(&r);
+    } else {
+      coord = &r;
+    }
+  }
+  if (nodes.size() != n) {
+    failures.push_back("inspection probe: expected " + std::to_string(n) +
+                       " node replies, got " + std::to_string(nodes.size()));
+    return failures;
+  }
+  for (const NodeInspection* insp : nodes) {
+    std::string who = "node " + std::to_string(insp->node);
+    Version vu = static_cast<Version>(insp->Stat("vu"));
+    Version vr = static_cast<Version>(insp->Stat("vr"));
+    if (!(vr < vu && vu <= MaxUpdateVersionFor(vr))) {
+      failures.push_back(who + ": version window violated: vu=" +
+                         std::to_string(vu) + " vr=" + std::to_string(vr));
+    }
+    int64_t max_versions = insp->Stat("max_versions_observed");
+    if (max_versions > static_cast<int64_t>(kMaxSimultaneousVersions)) {
+      failures.push_back(who + ": store observed " +
+                         std::to_string(max_versions) +
+                         " simultaneous versions (bound " +
+                         std::to_string(kMaxSimultaneousVersions) + ")");
+    }
+    for (const char* key :
+         {"pending_subtxns", "gate_waiters", "locks_held", "lock_waiters"}) {
+      int64_t v = insp->Stat(key);
+      if (v != 0) {
+        failures.push_back(who + ": not quiescent: " + key + "=" +
+                           std::to_string(v));
+      }
+    }
+  }
+  // Property 2(b): any two nodes differing in one version variable agree
+  // on the other (Section 4.4) - and at a drained point after a completed
+  // advancement everyone has acked every switch, so the idle coordinator's
+  // view must match exactly.
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    for (size_t j = i + 1; j < nodes.size(); ++j) {
+      Version vui = static_cast<Version>(nodes[i]->Stat("vu"));
+      Version vuj = static_cast<Version>(nodes[j]->Stat("vu"));
+      Version vri = static_cast<Version>(nodes[i]->Stat("vr"));
+      Version vrj = static_cast<Version>(nodes[j]->Stat("vr"));
+      if (vui != vuj && vri != vrj) {
+        failures.push_back(
+            "property 2(b) violated between node " +
+            std::to_string(nodes[i]->node) + " (vu=" + std::to_string(vui) +
+            ",vr=" + std::to_string(vri) + ") and node " +
+            std::to_string(nodes[j]->node) + " (vu=" + std::to_string(vuj) +
+            ",vr=" + std::to_string(vrj) + ")");
+      }
+    }
+  }
+  if (coord != nullptr && coord->Stat("phase") == 0) {
+    Version cvu = static_cast<Version>(coord->Stat("vu_view"));
+    Version cvr = static_cast<Version>(coord->Stat("vr_view"));
+    for (const NodeInspection* insp : nodes) {
+      if (static_cast<Version>(insp->Stat("vu")) != cvu ||
+          static_cast<Version>(insp->Stat("vr")) != cvr) {
+        failures.push_back(
+            "node " + std::to_string(insp->node) +
+            " disagrees with idle coordinator: node vu=" +
+            std::to_string(insp->Stat("vu")) + " vr=" +
+            std::to_string(insp->Stat("vr")) + ", coordinator vu=" +
+            std::to_string(cvu) + " vr=" + std::to_string(cvr));
+      }
+    }
+  }
+  return failures;
+}
+
+std::vector<std::string> ConservationProbe(Cluster& cluster, SimNet& net,
+                                           const ExpectedMatrix& expected) {
+  std::vector<std::string> failures;
+  size_t n = cluster.num_nodes();
+
+  std::vector<NodeInspection> base;
+  if (!GatherInspections(cluster, net, &base)) {
+    failures.push_back("conservation probe: InspectAll never completed");
+    return failures;
+  }
+  std::set<Version> live;
+  for (const NodeInspection& r : base) {
+    if (static_cast<size_t>(r.node) >= n) continue;
+    for (Version v : ParseActiveVersions(r.StatStr("active_versions"))) {
+      live.insert(v);
+    }
+  }
+
+  // One versioned probe per (version, node): node p's reply carries its R
+  // row (R(v)[p][q] for all q) and its C column (C(v)[o][p] for all o).
+  std::map<Version, std::vector<NodeInspection>> rows;
+  size_t outstanding = 0;
+  for (Version v : live) {
+    rows[v].resize(n);
+    for (size_t p = 0; p < n; ++p) {
+      ++outstanding;
+      cluster.client().Inspect(
+          static_cast<NodeId>(p), v,
+          [&rows, &outstanding, v, p](const NodeInspection& insp) {
+            rows[v][p] = insp;
+            --outstanding;
+          });
+    }
+  }
+  if (!RunUntilDeadline(net.loop(), net.loop().Now() + kProbeDeadline,
+                        [&] { return outstanding == 0; })) {
+    failures.push_back("conservation probe: versioned probes never replied");
+    return failures;
+  }
+
+  for (const auto& [v, replies] : rows) {
+    std::vector<int64_t> r(n * n, 0);
+    std::vector<int64_t> c(n * n, 0);
+    for (size_t p = 0; p < n; ++p) {
+      for (const auto& [q, count] : replies[p].counters_r) {
+        if (static_cast<size_t>(q) < n) r[p * n + q] = count;
+      }
+      for (const auto& [o, count] : replies[p].counters_c) {
+        if (static_cast<size_t>(o) < n) c[o * n + p] = count;
+      }
+    }
+    auto expected_it = expected.find(v);
+    for (size_t p = 0; p < n; ++p) {
+      for (size_t q = 0; q < n; ++q) {
+        std::string cell = "version " + std::to_string(v) + " [" +
+                           std::to_string(p) + "][" + std::to_string(q) + "]";
+        if (r[p * n + q] != c[p * n + q]) {
+          failures.push_back("conservation violated at " + cell + ": R=" +
+                             std::to_string(r[p * n + q]) + " C=" +
+                             std::to_string(c[p * n + q]));
+        }
+        if (p == q) continue;  // roots / local compensations: not tap-visible
+        int64_t want = 0;
+        if (expected_it != expected.end() &&
+            expected_it->second.size() == n * n) {
+          want = expected_it->second[p * n + q];
+        }
+        if (r[p * n + q] != want) {
+          failures.push_back(
+              "counter tally mismatch at " + cell + ": node reports R=" +
+              std::to_string(r[p * n + q]) + ", delivery tap counted " +
+              std::to_string(want));
+        }
+      }
+    }
+  }
+  return failures;
+}
+
+std::vector<std::string> WalReplayProbe(Cluster& cluster,
+                                        const std::string& wal_dir) {
+  std::vector<std::string> failures;
+  size_t n = cluster.num_nodes();
+  for (size_t i = 0; i < n; ++i) {
+    std::string who = "node " + std::to_string(i);
+    if (!cluster.node_alive(i)) {
+      failures.push_back(who + ": dead at WAL-replay probe time");
+      continue;
+    }
+    Node& live = cluster.node(i);
+    VersionedStore store;
+    CounterTable counters(n);
+    Result<RecoveredState> recovered = RecoverNodeState(
+        wal_dir + "/node-" + std::to_string(i), &store, &counters);
+    if (!recovered.ok()) {
+      failures.push_back(who + ": WAL replay failed: " +
+                         recovered.status().ToString());
+      continue;
+    }
+    if (recovered->vu != live.vu() || recovered->vr != live.vr()) {
+      failures.push_back(
+          who + ": replayed versions diverge: replay vu=" +
+          std::to_string(recovered->vu) + " vr=" +
+          std::to_string(recovered->vr) + ", live vu=" +
+          std::to_string(live.vu()) + " vr=" + std::to_string(live.vr()));
+    }
+    if (store.DumpAll() != live.store().DumpAll()) {
+      failures.push_back(who +
+                         ": replayed store diverges from live store (an "
+                         "acknowledged effect is not durable)");
+    }
+    std::vector<Version> live_versions = live.counters().ActiveVersions();
+    std::vector<Version> replay_versions = counters.ActiveVersions();
+    if (live_versions != replay_versions) {
+      failures.push_back(who + ": replayed counter versions diverge");
+      continue;
+    }
+    for (Version v : live_versions) {
+      if (counters.SnapshotR(v) != live.counters().SnapshotR(v) ||
+          counters.SnapshotC(v) != live.counters().SnapshotC(v)) {
+        failures.push_back(who + ": replayed counters diverge at version " +
+                           std::to_string(v));
+      }
+    }
+  }
+  return failures;
+}
+
+std::string OracleReport::Summary() const {
+  if (failures.empty()) return "all oracles passed";
+  std::ostringstream os;
+  os << failures.size() << " oracle failure(s):";
+  for (const std::string& f : failures) os << "\n  - " << f;
+  return os.str();
+}
+
+OracleReport RunOracles(const OracleInput& input) {
+  OracleReport report;
+  auto take = [&report](std::vector<std::string> fails) {
+    for (std::string& f : fails) report.failures.push_back(std::move(f));
+  };
+  take(InspectionProbe(*input.cluster, *input.net));
+  take(ConservationProbe(*input.cluster, *input.net, input.expected));
+  if (input.history != nullptr) {
+    CheckerOptions copts;
+    copts.check_version_cut = input.check_version_cut;
+    CheckResult check =
+        CheckHistory(input.history->Transactions(), copts);
+    if (!check.ok()) {
+      std::string text = "serializability: " + check.Summary();
+      for (const std::string& sample : check.samples) {
+        text += "\n      " + sample;
+      }
+      report.failures.push_back(std::move(text));
+    }
+  }
+  if (!input.wal_dir.empty() && input.kills_happened) {
+    take(WalReplayProbe(*input.cluster, input.wal_dir));
+  }
+  return report;
+}
+
+}  // namespace threev::fuzz

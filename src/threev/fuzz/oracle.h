@@ -1,0 +1,73 @@
+#ifndef THREEV_FUZZ_ORACLE_H_
+#define THREEV_FUZZ_ORACLE_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "threev/core/cluster.h"
+#include "threev/fuzz/fault_plan.h"
+#include "threev/net/sim_net.h"
+#include "threev/verify/history.h"
+
+namespace threev::fuzz {
+
+// Expected counter matrix per version, tallied externally by the run
+// driver from the delivery tap: every observed kSubtxnRequest delivery
+// (from=p, to=q, version=v) adds one to entry [p * num_nodes + q]. Only
+// off-diagonal entries are externally checkable this way (roots and local
+// compensations count on the diagonal without touching the network), so
+// the probe compares off-diagonal entries against this tally and all
+// entries against each other (R == C).
+using ExpectedMatrix = std::map<Version, std::vector<int64_t>>;
+
+// Structural-invariant probe over kAdminInspect only - no node internals.
+// Requires a drained, quiescent cluster (no advancement running, no
+// pending subtransactions). Checks, per node: the version window
+// vr < vu <= MaxUpdateVersionFor(vr); <= kMaxSimultaneousVersions ever
+// observed in the store; zero pending/gate-waiting/lock-holding state; and
+// pairwise property 2(b) (nodes differing in vu agree on vr and vice
+// versa) plus agreement with the idle coordinator's view.
+std::vector<std::string> InspectionProbe(Cluster& cluster, SimNet& net);
+
+// Counter-matrix conservation at quiescence: for every version still live
+// in any node's counter table, re-reads each node's R row and C column via
+// versioned kAdminInspect probes and checks R(v)[p][q] == C(v)[p][q] for
+// every ordered pair - an independent re-implementation of the
+// coordinator's quiescence test - and, off-diagonal, equality with the
+// externally tallied expectation.
+std::vector<std::string> ConservationProbe(Cluster& cluster, SimNet& net,
+                                           const ExpectedMatrix& expected);
+
+// WAL-replay equivalence: recovers every node's durable state read-only
+// (RecoverNodeState over a fresh store/counter table) and compares it with
+// the live node - versions, full store dump, live counter rows. Any
+// mismatch means a crash at this instant would lose or invent state.
+std::vector<std::string> WalReplayProbe(Cluster& cluster,
+                                        const std::string& wal_dir);
+
+struct OracleInput {
+  Cluster* cluster = nullptr;
+  SimNet* net = nullptr;
+  HistoryRecorder* history = nullptr;
+  std::string wal_dir;         // empty: skip WAL-replay equivalence
+  bool kills_happened = false;  // run WalReplayProbe even without kills?
+  bool check_version_cut = true;
+  ExpectedMatrix expected;
+  size_t num_nodes = 0;
+};
+
+struct OracleReport {
+  std::vector<std::string> failures;
+  bool ok() const { return failures.empty(); }
+  std::string Summary() const;
+};
+
+// The full battery: inspection probe, conservation probe, serializability
+// (verify/ checker with the version-cut rule), WAL-replay equivalence when
+// kills occurred. The cluster must be drained and quiescent.
+OracleReport RunOracles(const OracleInput& input);
+
+}  // namespace threev::fuzz
+
+#endif  // THREEV_FUZZ_ORACLE_H_

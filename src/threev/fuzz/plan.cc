@@ -1,0 +1,441 @@
+#include "threev/fuzz/plan.h"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+#include "threev/common/random.h"
+#include "threev/workload/workload.h"
+
+namespace threev::fuzz {
+namespace {
+
+// Stream salts: every derived Rng gets its own stream so adding a draw to
+// one stage of the generator never shifts another stage's choices.
+constexpr uint64_t kProfileSalt = 0x9e3779b97f4a7c15ULL;
+constexpr uint64_t kWorkloadSalt = 0xbf58476d1ce4e5b9ULL;
+constexpr uint64_t kScheduleSalt = 0x94d049bb133111ebULL;
+constexpr uint64_t kFaultSalt = 0xd6e8feb86659fd93ULL;
+
+double UniformIn(Rng& rng, double lo, double hi) {
+  return lo + (hi - lo) * rng.NextDouble();
+}
+
+FuzzProfile DeriveProfile(uint64_t seed, bool quick) {
+  Rng rng(seed ^ kProfileSalt);
+  FuzzProfile p;
+  p.num_nodes = quick ? 3 : 3 + static_cast<size_t>(rng.Uniform(3));
+  p.rounds = quick ? 2 : 3;
+  p.txns_per_round = quick ? 15 : 30 + static_cast<size_t>(rng.Uniform(21));
+  p.read_fraction = UniformIn(rng, 0.1, 0.4);
+  // Most plans exercise NC3V (locks + gate + 2PC); the rest stay pure 3V.
+  if (rng.Bernoulli(0.7)) {
+    p.mode = NodeMode::kNC3V;
+    p.nc_fraction = UniformIn(rng, 0.05, 0.25);
+  }
+  p.abort_probability = rng.Bernoulli(0.4) ? UniformIn(rng, 0.05, 0.15) : 0.0;
+  p.fanout = 1 + static_cast<size_t>(rng.Uniform(3));
+  if (p.fanout > p.num_nodes) p.fanout = p.num_nodes;
+  p.num_entities = 8 + rng.Uniform(17);
+  p.zipf_theta = UniformIn(rng, 0.0, 0.9);
+  p.min_delay = 50 + static_cast<Micros>(rng.Uniform(251));
+  p.mean_extra_delay = 100 + static_cast<Micros>(rng.Uniform(401));
+  p.mean_txn_gap = 200 + static_cast<Micros>(rng.Uniform(601));
+  return p;
+}
+
+// Crash points the schedule may target. The liveness analysis behind each
+// entry lives in DESIGN.md section 13; the short version: advancement
+// points are retransmitted by the coordinator until the victim restarts,
+// and 2PC points ride the root/participant retransmission plus
+// presumed-abort recovery, with completion counters deferred to decision
+// time (crash-safe by construction).
+struct CrashTemplate {
+  MsgType type;
+  uint32_t max_nth;
+  bool needs_nc_probe;
+  bool victim_is_probe_origin;
+};
+
+constexpr CrashTemplate kAdvancementPoints[] = {
+    {MsgType::kStartAdvancement, 1, false, false},
+    {MsgType::kCounterRead, 2, false, false},
+    {MsgType::kReadVersionAdvance, 1, false, false},
+    {MsgType::kGarbageCollect, 1, false, false},
+};
+
+constexpr CrashTemplate kTwoPcPoints[] = {
+    {MsgType::kPrepare, 1, true, false},
+    {MsgType::kVote, 1, true, true},  // the vote's destination is the root
+    {MsgType::kDecision, 1, true, false},
+};
+
+// Message types whose loss the protocol provably recovers from (stage
+// retransmission / 2PC retransmission). Dropping anything else can wedge
+// quiescence forever, so the generator never does.
+const MsgType kDroppableAdvancement[] = {
+    MsgType::kStartAdvancement,   MsgType::kStartAdvancementAck,
+    MsgType::kCounterRead,        MsgType::kCounterReadReply,
+    MsgType::kReadVersionAdvance, MsgType::kReadVersionAdvanceAck,
+    MsgType::kGarbageCollect,     MsgType::kGarbageCollectAck,
+};
+const MsgType kDroppableTwoPc[] = {
+    MsgType::kPrepare,
+    MsgType::kVote,
+    MsgType::kDecision,
+    MsgType::kDecisionAck,
+};
+
+// Total injected-drop allowance per run, kept far below the coordinator's
+// max_stage_retries (50) so a dropped stage can always retransmit through.
+constexpr uint32_t kDropBudgetPool = 24;
+
+std::vector<FaultSpec> DeriveFaults(uint64_t seed, const FuzzProfile& p,
+                                    bool quick) {
+  Rng rng(seed ^ kFaultSalt);
+  std::vector<FaultSpec> faults;
+  size_t count = quick ? 2 + rng.Uniform(3) : 4 + rng.Uniform(5);
+  std::set<size_t> crash_rounds;  // at most one crash per fault window
+  uint32_t drop_pool = kDropBudgetPool;
+  NodeId coord = static_cast<NodeId>(p.num_nodes);
+  for (size_t i = 0; i < count; ++i) {
+    double kind_roll = rng.NextDouble();
+    FaultSpec f;
+    if (kind_roll < 0.45 && crash_rounds.size() < p.rounds) {
+      f.kind = FaultKind::kCrashAtMessage;
+      size_t round = rng.Uniform(p.rounds);
+      while (crash_rounds.count(round) != 0) round = (round + 1) % p.rounds;
+      crash_rounds.insert(round);
+      f.round = round;
+      bool twopc =
+          p.mode == NodeMode::kNC3V && rng.Bernoulli(0.4);
+      const CrashTemplate& tmpl =
+          twopc ? kTwoPcPoints[rng.Uniform(std::size(kTwoPcPoints))]
+                : kAdvancementPoints[rng.Uniform(
+                      std::size(kAdvancementPoints))];
+      f.at_type = tmpl.type;
+      f.nth = 1 + static_cast<uint32_t>(rng.Uniform(tmpl.max_nth));
+      f.victim = static_cast<NodeId>(rng.Uniform(p.num_nodes));
+      f.downtime = 10'000 + static_cast<Micros>(rng.Uniform(40'001));
+      f.needs_nc_probe = tmpl.needs_nc_probe;
+      if (f.needs_nc_probe) {
+        f.probe_origin =
+            tmpl.victim_is_probe_origin
+                ? f.victim
+                : static_cast<NodeId>((f.victim + 1) % p.num_nodes);
+      }
+    } else if (kind_roll < 0.70 && drop_pool > 0) {
+      f.kind = FaultKind::kDropRule;
+      bool twopc = p.mode == NodeMode::kNC3V && rng.Bernoulli(0.35);
+      f.drop_type =
+          twopc ? kDroppableTwoPc[rng.Uniform(std::size(kDroppableTwoPc))]
+                : kDroppableAdvancement[rng.Uniform(
+                      std::size(kDroppableAdvancement))];
+      f.probability = UniformIn(rng, 0.2, 0.6);
+      f.budget = 3 + static_cast<uint32_t>(rng.Uniform(6));
+      if (f.budget > drop_pool) f.budget = drop_pool;
+      drop_pool -= f.budget;
+    } else if (kind_roll < 0.85) {
+      f.kind = FaultKind::kDelayChannel;
+      f.from = static_cast<NodeId>(rng.Uniform(p.num_nodes + 1));
+      do {
+        f.to = static_cast<NodeId>(rng.Uniform(p.num_nodes + 1));
+      } while (f.to == f.from);
+      f.extra_delay = 500 + static_cast<Micros>(rng.Uniform(4'501));
+      (void)coord;
+    } else if (p.abort_probability == 0.0) {
+      // FIFO-bypass reordering is sound for the protocol itself but NOT
+      // for the compensation model: a compensating child request overtaking
+      // its original on the same channel un-deletes the aborted effects
+      // (see tests/property_test.cc's no-FIFO sweep, which likewise injects
+      // no aborts). Profiles with abort injection skip reorder rules.
+      f.kind = FaultKind::kReorderChannel;
+      f.from = static_cast<NodeId>(rng.Uniform(p.num_nodes + 1));
+      do {
+        f.to = static_cast<NodeId>(rng.Uniform(p.num_nodes + 1));
+      } while (f.to == f.from);
+      f.probability = UniformIn(rng, 0.3, 0.8);
+    } else {
+      f.kind = FaultKind::kDelayChannel;
+      f.from = static_cast<NodeId>(rng.Uniform(p.num_nodes + 1));
+      do {
+        f.to = static_cast<NodeId>(rng.Uniform(p.num_nodes + 1));
+      } while (f.to == f.from);
+      f.extra_delay = 500 + static_cast<Micros>(rng.Uniform(4'501));
+    }
+    faults.push_back(f);
+  }
+  return faults;
+}
+
+void AppendIndexArray(std::ostringstream& os, const char* key,
+                      const std::vector<size_t>& v) {
+  os << "  \"" << key << "\": [";
+  for (size_t i = 0; i < v.size(); ++i) {
+    if (i != 0) os << ", ";
+    os << v[i];
+  }
+  os << "]";
+}
+
+std::string EscapeJson(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    if (c == '\n') {
+      out += "\\n";
+      continue;
+    }
+    out.push_back(c);
+  }
+  return out;
+}
+
+// --- minimal JSON field scanning for the repro schema --------------------
+
+bool FindKey(const std::string& json, const std::string& key, size_t* pos) {
+  size_t at = json.find("\"" + key + "\"");
+  if (at == std::string::npos) return false;
+  at = json.find(':', at);
+  if (at == std::string::npos) return false;
+  *pos = at + 1;
+  return true;
+}
+
+bool ParseU64(const std::string& json, const std::string& key, uint64_t* out) {
+  size_t pos;
+  if (!FindKey(json, key, &pos)) return false;
+  while (pos < json.size() && isspace(static_cast<unsigned char>(json[pos])))
+    ++pos;
+  if (pos >= json.size() || !isdigit(static_cast<unsigned char>(json[pos])))
+    return false;
+  *out = 0;
+  while (pos < json.size() && isdigit(static_cast<unsigned char>(json[pos])))
+    *out = *out * 10 + static_cast<uint64_t>(json[pos++] - '0');
+  return true;
+}
+
+bool ParseBool(const std::string& json, const std::string& key, bool* out) {
+  size_t pos;
+  if (!FindKey(json, key, &pos)) return false;
+  while (pos < json.size() && isspace(static_cast<unsigned char>(json[pos])))
+    ++pos;
+  if (json.compare(pos, 4, "true") == 0) {
+    *out = true;
+    return true;
+  }
+  if (json.compare(pos, 5, "false") == 0) {
+    *out = false;
+    return true;
+  }
+  return false;
+}
+
+bool ParseString(const std::string& json, const std::string& key,
+                 std::string* out) {
+  size_t pos;
+  if (!FindKey(json, key, &pos)) return false;
+  pos = json.find('"', pos);
+  if (pos == std::string::npos) return false;
+  out->clear();
+  for (size_t i = pos + 1; i < json.size(); ++i) {
+    char c = json[i];
+    if (c == '\\' && i + 1 < json.size()) {
+      char next = json[++i];
+      out->push_back(next == 'n' ? '\n' : next);
+      continue;
+    }
+    if (c == '"') return true;
+    out->push_back(c);
+  }
+  return false;  // unterminated string
+}
+
+bool ParseIndexArray(const std::string& json, const std::string& key,
+                     std::vector<size_t>* out) {
+  size_t pos;
+  if (!FindKey(json, key, &pos)) return false;
+  pos = json.find('[', pos);
+  if (pos == std::string::npos) return false;
+  size_t end = json.find(']', pos);
+  if (end == std::string::npos) return false;
+  out->clear();
+  uint64_t cur = 0;
+  bool in_number = false;
+  for (size_t i = pos + 1; i < end; ++i) {
+    char c = json[i];
+    if (isdigit(static_cast<unsigned char>(c))) {
+      cur = cur * 10 + static_cast<uint64_t>(c - '0');
+      in_number = true;
+    } else {
+      if (in_number) out->push_back(static_cast<size_t>(cur));
+      cur = 0;
+      in_number = false;
+    }
+  }
+  if (in_number) out->push_back(static_cast<size_t>(cur));
+  return true;
+}
+
+}  // namespace
+
+std::string FaultSpec::ToString() const {
+  std::ostringstream os;
+  switch (kind) {
+    case FaultKind::kCrashAtMessage:
+      os << "crash{round=" << round << " at=" << MsgTypeName(at_type)
+         << " nth=" << nth << " victim=" << victim
+         << " downtime=" << downtime;
+      if (needs_nc_probe) os << " probe_origin=" << probe_origin;
+      os << "}";
+      break;
+    case FaultKind::kDropRule:
+      os << "drop{type=" << MsgTypeName(drop_type) << " p=" << probability
+         << " budget=" << budget << "}";
+      break;
+    case FaultKind::kDelayChannel:
+      os << "delay{" << from << "->" << to << " extra=" << extra_delay
+         << "}";
+      break;
+    case FaultKind::kReorderChannel:
+      os << "reorder{" << from << "->" << to << " p=" << probability << "}";
+      break;
+  }
+  return os.str();
+}
+
+std::string FuzzPlan::Summary() const {
+  std::ostringstream os;
+  os << "seed=" << seed << (quick ? " quick" : "")
+     << " nodes=" << profile.num_nodes << " rounds=" << profile.rounds
+     << " txns=" << txns.size()
+     << " mode=" << (profile.mode == NodeMode::kNC3V ? "nc3v" : "pure3v")
+     << " faults=[";
+  for (size_t i = 0; i < faults.size(); ++i) {
+    if (i != 0) os << " ";
+    os << faults[i].ToString();
+  }
+  os << "]";
+  return os.str();
+}
+
+FuzzPlan BuildPlan(uint64_t seed, bool quick) {
+  FuzzPlan plan;
+  plan.seed = seed;
+  plan.quick = quick;
+  plan.profile = DeriveProfile(seed, quick);
+  const FuzzProfile& p = plan.profile;
+
+  WorkloadOptions wopts;
+  wopts.num_nodes = p.num_nodes;
+  wopts.num_entities = p.num_entities;
+  wopts.zipf_theta = p.zipf_theta;
+  wopts.read_fraction = p.read_fraction;
+  wopts.noncommuting_fraction = p.nc_fraction;
+  wopts.fanout = p.fanout;
+  wopts.with_inserts = true;
+  wopts.seed = seed ^ kWorkloadSalt;
+  WorkloadGenerator gen(wopts);
+
+  Rng schedule_rng(seed ^ kScheduleSalt);
+  for (size_t round = 0; round < p.rounds; ++round) {
+    for (size_t i = 0; i < p.txns_per_round; ++i) {
+      WorkloadJob job = gen.Next();
+      PlannedTxn txn;
+      txn.round = round;
+      txn.gap = 1 + static_cast<Micros>(schedule_rng.Exponential(
+                        static_cast<double>(p.mean_txn_gap)));
+      txn.origin = job.origin;
+      txn.spec = std::move(job.spec);
+      plan.txns.push_back(std::move(txn));
+    }
+  }
+
+  plan.faults = DeriveFaults(seed, p, quick);
+
+  std::set<size_t> crash_rounds;
+  for (const FaultSpec& f : plan.faults) {
+    if (f.kind == FaultKind::kCrashAtMessage) crash_rounds.insert(f.round);
+  }
+  plan.advance_during_traffic.resize(p.rounds, false);
+  for (size_t round = 0; round < p.rounds; ++round) {
+    plan.advance_during_traffic[round] =
+        crash_rounds.count(round) == 0 && schedule_rng.Bernoulli(0.5);
+  }
+  return plan;
+}
+
+FuzzPlan FilterPlan(const FuzzPlan& plan, const std::vector<size_t>& txn_keep,
+                    const std::vector<size_t>& fault_keep) {
+  FuzzPlan out = plan;
+  out.txns.clear();
+  out.faults.clear();
+  std::set<size_t> tk(txn_keep.begin(), txn_keep.end());
+  std::set<size_t> fk(fault_keep.begin(), fault_keep.end());
+  for (size_t i = 0; i < plan.txns.size(); ++i) {
+    if (tk.count(i) != 0) out.txns.push_back(plan.txns[i]);
+  }
+  for (size_t i = 0; i < plan.faults.size(); ++i) {
+    if (fk.count(i) != 0) out.faults.push_back(plan.faults[i]);
+  }
+  return out;
+}
+
+std::string ReproToJson(const ReproSpec& repro) {
+  std::ostringstream os;
+  os << "{\n";
+  os << "  \"schema\": \"threev-fuzz-repro-v1\",\n";
+  os << "  \"seed\": " << repro.seed << ",\n";
+  os << "  \"quick\": " << (repro.quick ? "true" : "false") << ",\n";
+  os << "  \"all_txns\": " << (repro.all_txns ? "true" : "false") << ",\n";
+  AppendIndexArray(os, "txns", repro.txns);
+  os << ",\n";
+  os << "  \"all_faults\": " << (repro.all_faults ? "true" : "false")
+     << ",\n";
+  AppendIndexArray(os, "faults", repro.faults);
+  os << ",\n";
+  os << "  \"note\": \"" << EscapeJson(repro.note) << "\"\n";
+  os << "}\n";
+  return os.str();
+}
+
+bool ReproFromJson(const std::string& json, ReproSpec* out,
+                   std::string* error) {
+  if (json.find("threev-fuzz-repro-v1") == std::string::npos) {
+    *error = "missing schema marker threev-fuzz-repro-v1";
+    return false;
+  }
+  ReproSpec repro;
+  if (!ParseU64(json, "seed", &repro.seed)) {
+    *error = "missing or malformed \"seed\"";
+    return false;
+  }
+  ParseBool(json, "quick", &repro.quick);
+  ParseBool(json, "all_txns", &repro.all_txns);
+  ParseBool(json, "all_faults", &repro.all_faults);
+  ParseIndexArray(json, "txns", &repro.txns);
+  ParseIndexArray(json, "faults", &repro.faults);
+  ParseString(json, "note", &repro.note);
+  *out = std::move(repro);
+  return true;
+}
+
+FuzzPlan PlanFromRepro(const ReproSpec& repro) {
+  FuzzPlan plan = BuildPlan(repro.seed, repro.quick);
+  if (repro.all_txns && repro.all_faults) return plan;
+  std::vector<size_t> txn_keep;
+  std::vector<size_t> fault_keep;
+  if (repro.all_txns) {
+    for (size_t i = 0; i < plan.txns.size(); ++i) txn_keep.push_back(i);
+  } else {
+    txn_keep = repro.txns;
+  }
+  if (repro.all_faults) {
+    for (size_t i = 0; i < plan.faults.size(); ++i) fault_keep.push_back(i);
+  } else {
+    fault_keep = repro.faults;
+  }
+  return FilterPlan(plan, txn_keep, fault_keep);
+}
+
+}  // namespace threev::fuzz

@@ -1,0 +1,138 @@
+#ifndef THREEV_FUZZ_PLAN_H_
+#define THREEV_FUZZ_PLAN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "threev/common/clock.h"
+#include "threev/common/ids.h"
+#include "threev/core/node.h"
+#include "threev/net/message.h"
+#include "threev/txn/plan.h"
+
+namespace threev::fuzz {
+
+// Everything the generator randomizes about a run's shape, derived from
+// the seed before any transaction or fault is drawn, so a plan prints and
+// replays completely from (seed, quick).
+struct FuzzProfile {
+  size_t num_nodes = 3;
+  size_t rounds = 3;          // traffic-window / fault-window pairs
+  size_t txns_per_round = 40;
+  double read_fraction = 0.2;
+  double nc_fraction = 0.0;   // > 0 implies mode == kNC3V
+  double abort_probability = 0.0;  // well-behaved roots -> compensations
+  size_t fanout = 2;
+  uint64_t num_entities = 12;
+  double zipf_theta = 0.6;
+  Micros min_delay = 100;
+  Micros mean_extra_delay = 300;
+  Micros mean_txn_gap = 400;  // inter-submit gap inside a traffic window
+  NodeMode mode = NodeMode::kPure3V;
+};
+
+// One transaction of the workload plan, pinned to its traffic window.
+struct PlannedTxn {
+  size_t round = 0;
+  Micros gap = 0;  // scheduled this long after the previous submit
+  NodeId origin = 0;
+  TxnSpec spec;
+};
+
+// The fault-schedule grammar (DESIGN.md section 13). Crash events are
+// scoped to one (drained) fault window; drop/delay/reorder rules apply for
+// the whole run. Every knob respects a liveness budget: drops only target
+// retransmittable protocol messages and are budget-capped below the
+// coordinator's max_stage_retries, downtime stays well inside the
+// advancement deadline, and reordering only bypasses the FIFO clamp on
+// channels where delivery order is not load-bearing (protocol steps are
+// causally gated; same-channel commuting subtransactions commute - but
+// compensation pairs do NOT, so profiles with abort injection draw no
+// reorder rules).
+enum class FaultKind : uint8_t {
+  kCrashAtMessage = 0,
+  kDropRule = 1,
+  kDelayChannel = 2,
+  kReorderChannel = 3,
+};
+
+struct FaultSpec {
+  FaultKind kind = FaultKind::kDropRule;
+  // kCrashAtMessage: kill `victim` at the nth delivery of `at_type` in
+  // fault window `round`; restart `downtime` later. 2PC crash points set
+  // needs_nc_probe: the window submits one dedicated non-commuting probe
+  // transaction rooted at `probe_origin` to create the targeted traffic.
+  size_t round = 0;
+  MsgType at_type = MsgType::kStartAdvancement;
+  NodeId victim = 0;
+  uint32_t nth = 1;
+  Micros downtime = 20'000;
+  bool needs_nc_probe = false;
+  NodeId probe_origin = 0;
+  // kDropRule: drop deliveries of `drop_type` with `probability`, at most
+  // `budget` times.
+  MsgType drop_type = MsgType::kCounterRead;
+  double probability = 0.0;
+  uint32_t budget = 0;
+  // kDelayChannel / kReorderChannel: the affected (from -> to) channel;
+  // delay rules add `extra_delay`, reorder rules bypass FIFO with
+  // `probability`.
+  NodeId from = 0;
+  NodeId to = 0;
+  Micros extra_delay = 0;
+
+  std::string ToString() const;
+};
+
+struct FuzzPlan {
+  uint64_t seed = 0;
+  bool quick = false;
+  FuzzProfile profile;
+  std::vector<PlannedTxn> txns;
+  std::vector<FaultSpec> faults;
+  // Per round: start an advancement mid-window, overlapping live traffic
+  // (only in rounds whose fault window has no crash event).
+  std::vector<bool> advance_during_traffic;
+
+  size_t EventCount() const { return txns.size() + faults.size(); }
+  std::string Summary() const;
+};
+
+// Derives the whole plan - profile, workload, fault schedule - from one
+// 64-bit seed. `quick` shrinks every dimension for smoke/CI profiles.
+// Pure: same (seed, quick) in, same plan out.
+FuzzPlan BuildPlan(uint64_t seed, bool quick);
+
+// Keeps only the listed txn / fault indices (indices into the full plan's
+// vectors); round structure and profile are preserved. The shrinker's
+// candidate generator.
+FuzzPlan FilterPlan(const FuzzPlan& plan, const std::vector<size_t>& txn_keep,
+                    const std::vector<size_t>& fault_keep);
+
+// ---------------------------------------------------------------------------
+// Repro artifacts: a failing schedule is fully described by its seed plus
+// the indices that survived shrinking, so the artifact stays tiny and the
+// CLI regenerates the plan instead of deserializing transaction specs.
+// ---------------------------------------------------------------------------
+
+struct ReproSpec {
+  uint64_t seed = 0;
+  bool quick = true;
+  bool all_txns = true;    // ignore `txns` and keep everything
+  bool all_faults = true;  // ignore `faults` and keep everything
+  std::vector<size_t> txns;
+  std::vector<size_t> faults;
+  std::string note;
+};
+
+std::string ReproToJson(const ReproSpec& repro);
+// Minimal parser for the artifact schema above (plus hand edits). Returns
+// false and fills `error` on malformed input.
+bool ReproFromJson(const std::string& json, ReproSpec* out,
+                   std::string* error);
+FuzzPlan PlanFromRepro(const ReproSpec& repro);
+
+}  // namespace threev::fuzz
+
+#endif  // THREEV_FUZZ_PLAN_H_

@@ -1,0 +1,105 @@
+#include "threev/fuzz/shrink.h"
+
+#include <algorithm>
+#include <functional>
+#include <numeric>
+#include <vector>
+
+namespace threev::fuzz {
+namespace {
+
+using Indices = std::vector<size_t>;
+
+// Classic ddmin: split into `granularity` chunks; first try each chunk
+// alone, then each complement; on any success restart at granularity 2,
+// otherwise double the granularity until it exceeds the list size.
+Indices DDMin(Indices items, const std::function<bool(const Indices&)>& fails) {
+  if (items.empty()) return items;
+  if (fails({})) return {};
+  size_t granularity = 2;
+  while (items.size() >= 2) {
+    size_t chunk = (items.size() + granularity - 1) / granularity;
+    bool reduced = false;
+    for (size_t start = 0; start < items.size() && !reduced; start += chunk) {
+      size_t end = std::min(start + chunk, items.size());
+      Indices subset(items.begin() + start, items.begin() + end);
+      if (subset.size() == items.size()) continue;
+      if (fails(subset)) {
+        items = std::move(subset);
+        granularity = 2;
+        reduced = true;
+      }
+    }
+    for (size_t start = 0; start < items.size() && !reduced; start += chunk) {
+      size_t end = std::min(start + chunk, items.size());
+      Indices complement;
+      complement.reserve(items.size() - (end - start));
+      complement.insert(complement.end(), items.begin(),
+                        items.begin() + start);
+      complement.insert(complement.end(), items.begin() + end, items.end());
+      if (complement.size() == items.size() || complement.empty()) continue;
+      if (fails(complement)) {
+        items = std::move(complement);
+        granularity = std::max<size_t>(granularity - 1, 2);
+        reduced = true;
+      }
+    }
+    if (!reduced) {
+      if (granularity >= items.size()) break;
+      granularity = std::min(items.size(), granularity * 2);
+    }
+  }
+  return items;
+}
+
+}  // namespace
+
+ShrinkOutcome Shrink(const FuzzPlan& plan, const FuzzOptions& options,
+                     size_t max_runs) {
+  ShrinkOutcome out;
+  out.final_result = RunPlan(plan, options);
+  if (out.final_result.ok) return out;  // nothing to shrink
+  out.shrunk = true;
+
+  Indices txns(plan.txns.size());
+  std::iota(txns.begin(), txns.end(), 0);
+  Indices faults(plan.faults.size());
+  std::iota(faults.begin(), faults.end(), 0);
+
+  auto fails = [&](const Indices& t, const Indices& f) {
+    if (out.candidate_runs >= max_runs) return false;
+    ++out.candidate_runs;
+    return !RunPlan(FilterPlan(plan, t, f), options).ok;
+  };
+
+  // Alternate dimensions to a fixpoint: removing faults often unlocks
+  // further transaction removal and vice versa.
+  for (;;) {
+    size_t before = txns.size() + faults.size();
+    txns = DDMin(std::move(txns), [&](const Indices& t) {
+      return fails(t, faults);
+    });
+    faults = DDMin(std::move(faults), [&](const Indices& f) {
+      return fails(txns, f);
+    });
+    if (txns.size() + faults.size() == before ||
+        out.candidate_runs >= max_runs) {
+      break;
+    }
+  }
+
+  out.repro.seed = plan.seed;
+  out.repro.quick = plan.quick;
+  out.repro.all_txns = false;
+  out.repro.all_faults = false;
+  out.repro.txns = txns;
+  out.repro.faults = faults;
+  out.events = txns.size() + faults.size();
+  out.final_result = RunPlan(FilterPlan(plan, txns, faults), options);
+  if (!out.final_result.failures.empty()) {
+    out.repro.note = out.final_result.failures.front();
+  }
+  return out;
+}
+
+}  // namespace threev::fuzz

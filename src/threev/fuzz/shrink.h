@@ -1,0 +1,33 @@
+#ifndef THREEV_FUZZ_SHRINK_H_
+#define THREEV_FUZZ_SHRINK_H_
+
+#include <cstddef>
+
+#include "threev/fuzz/fuzz.h"
+#include "threev/fuzz/plan.h"
+
+namespace threev::fuzz {
+
+struct ShrinkOutcome {
+  // True iff the unfiltered plan failed (so `repro` describes a minimized
+  // failing schedule). False means there was nothing to shrink.
+  bool shrunk = false;
+  ReproSpec repro;
+  // The last run of the minimized schedule (its failures become the
+  // artifact's note) - or the passing baseline when shrunk is false.
+  FuzzResult final_result;
+  size_t candidate_runs = 0;
+  size_t events = 0;  // txns + faults kept in the minimized schedule
+};
+
+// Delta-debugging (ddmin) over the plan's transaction list, then its fault
+// events, repeated to a fixpoint: each candidate keeps an index subset,
+// regenerates the filtered plan and re-runs it deterministically, keeping
+// the subset iff the oracles still fail. `max_runs` bounds total candidate
+// executions; on exhaustion the best-so-far repro is returned.
+ShrinkOutcome Shrink(const FuzzPlan& plan, const FuzzOptions& options,
+                     size_t max_runs = 400);
+
+}  // namespace threev::fuzz
+
+#endif  // THREEV_FUZZ_SHRINK_H_

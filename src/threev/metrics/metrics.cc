@@ -31,6 +31,8 @@ void Metrics::Reset() {
   advancement_retransmits = 0;
   twopc_retransmits = 0;
   node_crashes = 0;
+  fault_injected_drops = 0;
+  fault_injected_delays = 0;
   update_latency.Reset();
   read_latency.Reset();
   advancement_latency.Reset();
@@ -66,6 +68,8 @@ void Metrics::MergeFrom(const Metrics& other) {
   advancement_retransmits += other.advancement_retransmits.load();
   twopc_retransmits += other.twopc_retransmits.load();
   node_crashes += other.node_crashes.load();
+  fault_injected_drops += other.fault_injected_drops.load();
+  fault_injected_delays += other.fault_injected_delays.load();
   update_latency.Merge(other.update_latency);
   read_latency.Merge(other.read_latency);
   advancement_latency.Merge(other.advancement_latency);
@@ -101,7 +105,9 @@ std::string Metrics::Report() const {
   os << "faults: crashes=" << node_crashes.load()
      << " dropped=" << messages_dropped.load()
      << " adv_retransmits=" << advancement_retransmits.load()
-     << " 2pc_retransmits=" << twopc_retransmits.load() << "\n";
+     << " 2pc_retransmits=" << twopc_retransmits.load()
+     << " injected_drops=" << fault_injected_drops.load()
+     << " injected_delays=" << fault_injected_delays.load() << "\n";
   os << "update_latency: " << update_latency.Summary() << "\n";
   os << "read_latency:   " << read_latency.Summary() << "\n";
   os << "advancement:    " << advancement_latency.Summary() << "\n";

@@ -60,6 +60,11 @@ struct Metrics {
   std::atomic<int64_t> advancement_retransmits{0};
   std::atomic<int64_t> twopc_retransmits{0};
   std::atomic<int64_t> node_crashes{0};
+  // Schedule-exploration fault injection (SimNet::SetFaultInjector):
+  // messages deliberately lost / delivery-delayed by a fuzz schedule.
+  // Injected drops also count under messages_dropped.
+  std::atomic<int64_t> fault_injected_drops{0};
+  std::atomic<int64_t> fault_injected_delays{0};
 
   // Latency distributions (microseconds; virtual under SimNet).
   Histogram update_latency;

@@ -83,6 +83,15 @@ void SimNet::Send(NodeId to, Message msg) {
     held_.emplace(id, PendingMessage{id, to, std::move(msg), incarnation});
     return;
   }
+  FaultDecision fault;
+  if (injector_) fault = injector_(to, msg);
+  if (fault.drop) {
+    if (metrics_ != nullptr) {
+      metrics_->fault_injected_drops.fetch_add(1, std::memory_order_relaxed);
+    }
+    DropMessage();
+    return;
+  }
   Micros delay = options_.min_delay +
                  static_cast<Micros>(
                      rng_.Exponential(static_cast<double>(
@@ -90,8 +99,14 @@ void SimNet::Send(NodeId to, Message msg) {
                              ? options_.mean_extra_delay
                              : 1)));
   if (options_.mean_extra_delay == 0) delay = options_.min_delay;
+  if (fault.extra_delay > 0) {
+    delay += fault.extra_delay;
+    if (metrics_ != nullptr) {
+      metrics_->fault_injected_delays.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
   Micros when = loop_.Now() + delay;
-  if (options_.fifo_channels) {
+  if (options_.fifo_channels && !fault.bypass_fifo) {
     uint64_t channel = (static_cast<uint64_t>(msg.from) << 32) | to;
     Micros& watermark = channel_watermark_[channel];
     if (when <= watermark) when = watermark + 1;

@@ -64,6 +64,25 @@ class SimNet : public Network {
   using DeliveryTap = std::function<void(NodeId to, const Message& msg)>;
   void SetDeliveryTap(DeliveryTap tap) { tap_ = std::move(tap); }
 
+  // Schedule-exploration fault injection (fuzz subsystem, DESIGN.md
+  // section 13). Consulted once per automatic-mode Send, after liveness
+  // filtering: the injector may silently lose the message, stretch its
+  // delivery delay, or exempt it from the per-channel FIFO clamp (the
+  // channel watermark is neither consulted nor advanced, so one bypassed
+  // message can overtake - or be overtaken by - its channel neighbours
+  // while everything else stays FIFO). Pass nullptr to clear. Decisions
+  // must be deterministic functions of the message stream for runs to stay
+  // bit-reproducible.
+  struct FaultDecision {
+    bool drop = false;
+    Micros extra_delay = 0;
+    bool bypass_fifo = false;
+  };
+  using FaultInjector = std::function<FaultDecision(NodeId to, const Message&)>;
+  void SetFaultInjector(FaultInjector injector) {
+    injector_ = std::move(injector);
+  }
+
   EventLoop& loop() { return loop_; }
 
   // --- manual mode ---------------------------------------------------
@@ -109,6 +128,7 @@ class SimNet : public Network {
   std::unordered_map<NodeId, MessageHandler> handlers_;
   std::unordered_map<NodeId, Liveness> liveness_;
   DeliveryTap tap_;
+  FaultInjector injector_;
   // Per-channel watermark for FIFO enforcement: (from<<32|to) -> last
   // scheduled delivery time.
   std::unordered_map<uint64_t, Micros> channel_watermark_;

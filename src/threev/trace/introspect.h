@@ -20,7 +20,10 @@ namespace threev {
 //
 // Well-known stat keys (nodes): vu, vr, mode, pending_subtxns, nc_txns,
 // gate_waiters, locks_held, lock_waiters, wal_segment, wal_bytes,
-// store_keys. Coordinator replies use: epoch, phase, phase_name (str),
+// store_keys, max_versions_observed, active_versions (str, comma-separated
+// versions whose counter rows are live - the fuzz invariant probe re-probes
+// each of them via the request's `version` field).
+// Coordinator replies use: epoch, phase, phase_name (str),
 // round, vu_view, vr_view, auto_advance. `counters_version` on both says
 // which version the counter rows describe. Absent keys read as 0 / "".
 struct NodeInspection {

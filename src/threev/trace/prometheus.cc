@@ -83,6 +83,10 @@ std::string PrometheusText(const Metrics& m, const std::string& labels) {
                 m.advancement_retransmits.load(), labels);
   AppendCounter(&out, "twopc_retransmits", m.twopc_retransmits.load(), labels);
   AppendCounter(&out, "node_crashes", m.node_crashes.load(), labels);
+  AppendCounter(&out, "fault_injected_drops", m.fault_injected_drops.load(),
+                labels);
+  AppendCounter(&out, "fault_injected_delays", m.fault_injected_delays.load(),
+                labels);
   AppendHistogramSummary(&out, "update_latency", m.update_latency, labels);
   AppendHistogramSummary(&out, "read_latency", m.read_latency, labels);
   AppendHistogramSummary(&out, "advancement_latency", m.advancement_latency,

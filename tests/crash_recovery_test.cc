@@ -1,14 +1,20 @@
 // Deterministic crash/restart tests: a node is killed at an exact protocol
-// point (via the SimNet delivery tap), restarted from checkpoint + WAL, and
-// the cluster must finish what it was doing with every invariant intact -
-// no acknowledged update lost, <= 3 versions per item, history still
-// version-order serializable.
+// point and restarted from checkpoint + WAL, and the cluster must finish
+// what it was doing with every invariant intact - no acknowledged update
+// lost, <= 3 versions per item, history still version-order serializable.
+//
+// Crash choreography and advancement driving use the shared fuzz-subsystem
+// helpers (threev::fuzz::FaultPlan / DriveAdvancement), so these
+// hand-written schedules and the generated fuzz schedules exercise one
+// implementation.
 #include <gtest/gtest.h>
 
 #include <filesystem>
 #include <string>
 
 #include "threev/core/cluster.h"
+#include "threev/fuzz/fault_plan.h"
+#include "threev/fuzz/oracle.h"
 #include "threev/net/sim_net.h"
 #include "threev/verify/checker.h"
 
@@ -21,33 +27,6 @@ std::string TestDir(const std::string& name) {
   fs::remove_all(dir);
   fs::create_directories(dir);
   return dir.string();
-}
-
-// One advancement driven to completion (waiting out any stale run first).
-void Advance(SimNet& net, Cluster& cluster) {
-  net.loop().RunUntil([&] { return !cluster.coordinator().running(); });
-  bool advanced = false;
-  ASSERT_TRUE(cluster.coordinator().StartAdvancement(
-      [&advanced](Status s) {
-        EXPECT_TRUE(s.ok());
-        advanced = true;
-      }));
-  net.loop().RunUntil([&] { return advanced; });
-}
-
-// Kills node `victim` the moment the first message of `type` is delivered
-// to it (the message itself is dropped - it "died with the node"), and
-// schedules the restart `downtime` later.
-void ArmCrashAt(SimNet& net, Cluster& cluster, MsgType type, NodeId victim,
-                Micros downtime, bool* fired) {
-  net.SetDeliveryTap([&net, &cluster, type, victim, downtime, fired](
-                         NodeId to, const Message& msg) {
-    if (*fired || to != victim || msg.type != type) return;
-    *fired = true;
-    cluster.KillNode(victim);
-    net.ScheduleAfter(downtime,
-                      [&cluster, victim] { cluster.RestartNode(victim); });
-  });
 }
 
 // The advancement protocol must survive losing a node at every one of its
@@ -77,9 +56,23 @@ TEST(CrashRecoveryTest, NodeCrashAtEachAdvancementPhase) {
     options.coordinator_retry_interval = 5'000;
     Cluster cluster(options, &net, &metrics, &history);
 
+    // Tally cross-node subtransaction deliveries for the conservation
+    // probe, exactly as the fuzz driver does.
+    fuzz::FaultPlan faults(&net, &cluster);
+    fuzz::ExpectedMatrix expected;
+    faults.SetObserver([&expected](NodeId to, const Message& msg) {
+      if (msg.type != MsgType::kSubtxnRequest || msg.from >= 3 || to >= 3 ||
+          msg.from == to) {
+        return;
+      }
+      auto& row = expected[msg.version];
+      if (row.empty()) row.assign(9, 0);
+      row[static_cast<size_t>(msg.from) * 3 + to] += 1;
+    });
+
     // Acknowledged traffic, quiesced before the fault: every one of these
     // must still be readable after crash + recovery.
-    int64_t expected[3] = {0, 0, 0};
+    int64_t expected_balance[3] = {0, 0, 0};
     size_t done = 0;
     for (int i = 0; i < 30; ++i) {
       NodeId origin = static_cast<NodeId>(i % 3);
@@ -93,32 +86,40 @@ TEST(CrashRecoveryTest, NodeCrashAtEachAdvancementPhase) {
                        EXPECT_TRUE(r.status.ok());
                        ++done;
                      });
-      expected[origin] += 2;
-      expected[other] += 3;
+      expected_balance[origin] += 2;
+      expected_balance[other] += 3;
     }
     net.loop().RunUntil([&] { return done == 30; });
 
-    bool fired = false;
-    ArmCrashAt(net, cluster, phase.type, /*victim=*/1, /*downtime=*/20'000,
-               &fired);
-    Advance(net, cluster);
-    EXPECT_TRUE(fired) << "the targeted message type never reached node 1";
+    size_t cp = faults.Arm({.at_type = phase.type, .victim = 1,
+                            .nth = 1, .downtime = 20'000});
+    EXPECT_TRUE(fuzz::DriveAdvancement(net, cluster).ok());
+    EXPECT_TRUE(faults.Fired(cp))
+        << "the targeted message type never reached node 1";
     EXPECT_EQ(metrics.node_crashes.load(), 1);
     EXPECT_GT(metrics.messages_dropped.load(), 0);
     ASSERT_TRUE(cluster.node_alive(1));
 
+    // With the crashed phase completed and the victim recovered, the
+    // structural-invariant and counter-conservation probes must hold: the
+    // kill left no counter row torn (version 1 is still live here, so the
+    // conservation probe re-checks the full traffic matrix through the
+    // restarted node's recovered counters).
+    EXPECT_EQ(fuzz::InspectionProbe(cluster, net), std::vector<std::string>{});
+    EXPECT_EQ(fuzz::ConservationProbe(cluster, net, expected),
+              std::vector<std::string>{});
+
     // A second full advancement proves the recovered node participates in
     // quiescence detection (its counters survived) and GC.
-    net.SetDeliveryTap(nullptr);
-    Advance(net, cluster);
+    EXPECT_TRUE(fuzz::DriveAdvancement(net, cluster).ok());
 
     ASSERT_TRUE(cluster.CheckInvariants().ok());
     for (size_t n = 0; n < 3; ++n) {
       Result<Value> v =
           cluster.node(n).store().Read("acct", cluster.node(n).vr());
       ASSERT_TRUE(v.ok()) << "node " << n;
-      EXPECT_EQ(v->num, expected[n]) << "acknowledged update lost on node "
-                                     << n;
+      EXPECT_EQ(v->num, expected_balance[n])
+          << "acknowledged update lost on node " << n;
       EXPECT_LE(cluster.node(n).store().MaxVersionsObserved(), 3u);
     }
 
@@ -141,6 +142,7 @@ TEST(CrashRecoveryTest, CrashAfterCheckpointReplaysOnlyTail) {
   options.coordinator_poll_interval = 1'000;
   options.coordinator_retry_interval = 5'000;
   Cluster cluster(options, &net, &metrics, &history);
+  fuzz::FaultPlan faults(&net, &cluster);
 
   size_t done = 0;
   auto burst = [&](int count) {
@@ -157,11 +159,10 @@ TEST(CrashRecoveryTest, CrashAfterCheckpointReplaysOnlyTail) {
   ASSERT_TRUE(cluster.CheckpointAll().ok());
   burst(6);  // in the log but not the checkpoint
 
-  bool fired = false;
-  ArmCrashAt(net, cluster, MsgType::kStartAdvancement, /*victim=*/0,
-             /*downtime=*/20'000, &fired);
-  Advance(net, cluster);
-  EXPECT_TRUE(fired);
+  size_t cp = faults.Arm({.at_type = MsgType::kStartAdvancement,
+                          .victim = 0, .nth = 1, .downtime = 20'000});
+  EXPECT_TRUE(fuzz::DriveAdvancement(net, cluster).ok());
+  EXPECT_TRUE(faults.Fired(cp));
   ASSERT_TRUE(cluster.node_alive(0));
 
   ASSERT_TRUE(cluster.CheckInvariants().ok());
@@ -187,10 +188,10 @@ TEST(CrashRecoveryTest, CrashedParticipantHonorsRetransmittedDecision) {
   options.coordinator_retry_interval = 5'000;
   options.twopc_retry_interval = 10'000;
   Cluster cluster(options, &net, &metrics, &history);
+  fuzz::FaultPlan faults(&net, &cluster);
 
-  bool fired = false;
-  ArmCrashAt(net, cluster, MsgType::kDecision, /*victim=*/1,
-             /*downtime=*/20'000, &fired);
+  size_t cp = faults.Arm({.at_type = MsgType::kDecision, .victim = 1,
+                          .nth = 1, .downtime = 20'000});
 
   bool done = false;
   cluster.Submit(0,
@@ -204,7 +205,7 @@ TEST(CrashRecoveryTest, CrashedParticipantHonorsRetransmittedDecision) {
                    done = true;
                  });
   net.loop().RunUntil([&] { return done; });
-  EXPECT_TRUE(fired);
+  EXPECT_TRUE(faults.Fired(cp));
   EXPECT_GT(metrics.twopc_retransmits.load(), 0);
   ASSERT_TRUE(cluster.node_alive(1));
 
@@ -217,7 +218,6 @@ TEST(CrashRecoveryTest, CrashedParticipantHonorsRetransmittedDecision) {
   }
 
   // Locks are fully released: a second non-commuting writer gets through.
-  net.SetDeliveryTap(nullptr);
   done = false;
   cluster.Submit(2,
                  TxnBuilder(2)
@@ -233,9 +233,10 @@ TEST(CrashRecoveryTest, CrashedParticipantHonorsRetransmittedDecision) {
 
   // Deferred completion counters survived the crash: quiescence is still
   // detectable and the version machinery runs.
-  Advance(net, cluster);
-  Advance(net, cluster);
+  EXPECT_TRUE(fuzz::DriveAdvancement(net, cluster).ok());
+  EXPECT_TRUE(fuzz::DriveAdvancement(net, cluster).ok());
   ASSERT_TRUE(cluster.CheckInvariants().ok());
+  EXPECT_EQ(fuzz::InspectionProbe(cluster, net), std::vector<std::string>{});
   CheckResult check = CheckHistory(history.Transactions(), CheckerOptions{});
   EXPECT_TRUE(check.ok()) << check.Summary();
 }
@@ -258,15 +259,12 @@ TEST(CrashRecoveryTest, CrashedRootPresumesAbort) {
   options.coordinator_retry_interval = 5'000;
   options.twopc_retry_interval = 10'000;
   Cluster cluster(options, &net, &metrics, &history);
+  fuzz::FaultPlan faults(&net, &cluster);
 
   // Kill the ROOT (node 0) at the instant its prepare reaches node 1.
-  bool fired = false;
-  net.SetDeliveryTap([&](NodeId to, const Message& msg) {
-    if (fired || to != 1 || msg.type != MsgType::kPrepare) return;
-    fired = true;
-    cluster.KillNode(0);
-    net.ScheduleAfter(20'000, [&cluster] { cluster.RestartNode(0); });
-  });
+  size_t cp = faults.Arm({.at_type = MsgType::kPrepare, .victim = 0,
+                          .nth = 1, .downtime = 20'000,
+                          .trigger_node = 1});
 
   bool orphan_result = false;
   cluster.Submit(0,
@@ -276,8 +274,7 @@ TEST(CrashRecoveryTest, CrashedRootPresumesAbort) {
                      .Child(2, {OpPut("doc", "dead")})
                      .Build(),
                  [&orphan_result](const TxnResult&) { orphan_result = true; });
-  net.loop().RunUntil([&] { return fired && cluster.node_alive(0); });
-  net.SetDeliveryTap(nullptr);
+  net.loop().RunUntil([&] { return faults.Fired(cp) && cluster.node_alive(0); });
 
   // A probe writer over the same key set serializes behind the in-doubt
   // locks; it can only commit once the re-driven abort released them on
@@ -304,7 +301,7 @@ TEST(CrashRecoveryTest, CrashedRootPresumesAbort) {
   }
 
   // Aborted completions still count for quiescence: advancement completes.
-  Advance(net, cluster);
+  EXPECT_TRUE(fuzz::DriveAdvancement(net, cluster).ok());
   ASSERT_TRUE(cluster.CheckInvariants().ok());
   CheckResult check = CheckHistory(history.Transactions(), CheckerOptions{});
   EXPECT_TRUE(check.ok()) << check.Summary();

@@ -53,6 +53,9 @@ Message RandomMessage(Rng& rng) {
     v.num = rng.UniformRange(-5, 5);
     size_t nids = rng.Uniform(4);
     for (size_t j = 0; j < nids; ++j) v.ids.push_back(rng.Next() % 100);
+    // String payloads ride here too (kAdminInspectReply string stats such
+    // as active_versions); they must round-trip alongside num/ids.
+    if (rng.Bernoulli(0.3)) v.str = std::string(rng.Uniform(24), 'v');
     m.reads.emplace_back("r" + std::to_string(i), v);
   }
   size_t nc = rng.Uniform(4);
@@ -90,10 +93,68 @@ TEST(WireFuzzTest, RandomMessagesRoundTrip) {
     ASSERT_TRUE(decoded.ok()) << "iteration " << i;
     // Spot-check a few invariant fields.
     EXPECT_EQ(decoded->txn, m.txn);
+    EXPECT_EQ(decoded->version, m.version);
+    EXPECT_EQ(decoded->flag, m.flag);
     EXPECT_EQ(decoded->plan.ops.size(), m.plan.ops.size());
-    EXPECT_EQ(decoded->reads.size(), m.reads.size());
+    ASSERT_EQ(decoded->reads.size(), m.reads.size());
+    for (size_t r = 0; r < m.reads.size(); ++r) {
+      EXPECT_EQ(decoded->reads[r].first, m.reads[r].first);
+      EXPECT_TRUE(decoded->reads[r].second == m.reads[r].second)
+          << "iteration " << i << " read " << r;
+    }
     EXPECT_EQ(decoded->status_msg, m.status_msg);
     EXPECT_TRUE(decoded->trace == m.trace) << "iteration " << i;
+  }
+}
+
+// The versioned admin probe (fuzz oracle's counter walk) rides on the
+// version + flag fields of kAdminInspect, and its reply carries counter
+// rows plus mixed numeric/string stats. Both directions must round-trip
+// bit-exactly - version 0 with flag=true (the "explicitly version 0" probe)
+// is the case a sloppy encoder would collapse into the default form.
+TEST(WireFuzzTest, AdminInspectProbeFieldsRoundTrip) {
+  Rng rng(4242);
+  for (int i = 0; i < 100; ++i) {
+    Message probe;
+    probe.type = MsgType::kAdminInspect;
+    probe.from = static_cast<NodeId>(rng.Uniform(8));
+    probe.seq = rng.Next();
+    probe.version = static_cast<Version>(rng.Uniform(3));  // often 0
+    probe.flag = rng.Bernoulli(0.5);
+    std::vector<uint8_t> buf = EncodeMessage(probe);
+    Result<Message> decoded = DecodeMessage(buf.data(), buf.size());
+    ASSERT_TRUE(decoded.ok()) << "iteration " << i;
+    EXPECT_EQ(decoded->version, probe.version);
+    EXPECT_EQ(decoded->flag, probe.flag);
+
+    Message reply;
+    reply.type = MsgType::kAdminInspectReply;
+    reply.from = probe.from;
+    reply.seq = probe.seq;
+    reply.version = probe.version;
+    Value mv;
+    mv.num = static_cast<int64_t>(rng.Uniform(4));
+    reply.reads.emplace_back("max_versions_observed", mv);
+    Value av;
+    av.str = std::to_string(rng.Uniform(5)) + "," +
+             std::to_string(rng.Uniform(5));
+    reply.reads.emplace_back("active_versions", av);
+    size_t nc = 1 + rng.Uniform(4);
+    for (size_t j = 0; j < nc; ++j) {
+      reply.counters_r.emplace_back(static_cast<NodeId>(j),
+                                    static_cast<int64_t>(rng.Uniform(500)));
+      reply.counters_c.emplace_back(static_cast<NodeId>(j),
+                                    static_cast<int64_t>(rng.Uniform(500)));
+    }
+    std::vector<uint8_t> rbuf = EncodeMessage(reply);
+    Result<Message> rdec = DecodeMessage(rbuf.data(), rbuf.size());
+    ASSERT_TRUE(rdec.ok()) << "iteration " << i;
+    ASSERT_EQ(rdec->reads.size(), 2u);
+    EXPECT_EQ(rdec->reads[0].second.num, mv.num);
+    EXPECT_EQ(rdec->reads[1].second.str, av.str);
+    EXPECT_TRUE(rdec->counters_r == reply.counters_r);
+    EXPECT_TRUE(rdec->counters_c == reply.counters_c);
+    EXPECT_EQ(EncodeMessage(*rdec), rbuf) << "iteration " << i;
   }
 }
 

@@ -1,0 +1,122 @@
+#!/usr/bin/env python3
+"""Shard a large threev_fuzz seed sweep across worker subprocesses.
+
+The fuzzer itself is single-threaded by design (determinism), so big
+sweeps parallelize across *processes*, one contiguous seed range per
+worker, each with its own scratch and artifacts directory:
+
+    tools/fuzz_sweep.py --binary build/examples/threev_fuzz \
+        --seeds 2000 --jobs 4 --quick --artifacts-dir fuzz-artifacts
+
+Exit status is 0 iff every shard passed. On failure the offending
+shard's stdout/stderr tail is echoed and any repro artifacts the CLI
+shrank are left under --artifacts-dir for upload. Shard boundaries do
+not affect results: seed N behaves identically no matter which worker
+runs it.
+"""
+
+import argparse
+import pathlib
+import shutil
+import subprocess
+import sys
+import tempfile
+
+
+def parse_args(argv):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--binary", required=True,
+                        help="path to the threev_fuzz executable")
+    parser.add_argument("--seeds", type=int, default=2000,
+                        help="sweep seeds 1..N (default 2000)")
+    parser.add_argument("--start", type=int, default=1,
+                        help="first seed (default 1)")
+    parser.add_argument("--jobs", type=int, default=2,
+                        help="worker subprocesses (default 2)")
+    parser.add_argument("--quick", action="store_true",
+                        help="use the quick (smoke) profile")
+    parser.add_argument("--shrink", action="store_true",
+                        help="shrink failing seeds and write repro artifacts")
+    parser.add_argument("--artifacts-dir", default="fuzz-artifacts",
+                        help="where repro artifacts land (default "
+                             "fuzz-artifacts)")
+    parser.add_argument("--timeout", type=int, default=3000,
+                        help="per-shard timeout in seconds (default 3000)")
+    return parser.parse_args(argv)
+
+
+def shard_ranges(start, count, jobs):
+    """Split [start, start+count) into up to `jobs` contiguous ranges."""
+    jobs = max(1, min(jobs, count))
+    base, extra = divmod(count, jobs)
+    ranges = []
+    at = start
+    for i in range(jobs):
+        size = base + (1 if i < extra else 0)
+        ranges.append((at, size))
+        at += size
+    return ranges
+
+
+def main(argv):
+    args = parse_args(argv)
+    binary = pathlib.Path(args.binary)
+    if not binary.exists():
+        print(f"fuzz_sweep: no such binary: {binary}", file=sys.stderr)
+        return 2
+    artifacts = pathlib.Path(args.artifacts_dir)
+    artifacts.mkdir(parents=True, exist_ok=True)
+    scratch_root = pathlib.Path(tempfile.mkdtemp(prefix="threev_sweep_"))
+
+    procs = []
+    for i, (first, size) in enumerate(
+            shard_ranges(args.start, args.seeds, args.jobs)):
+        if size == 0:
+            continue
+        cmd = [str(binary), f"--sweep={size}", f"--sweep-start={first}",
+               f"--artifacts-dir={artifacts}",
+               f"--scratch-dir={scratch_root / f'shard{i}'}"]
+        if args.quick:
+            cmd.append("--quick")
+        if args.shrink:
+            cmd.append("--shrink")
+        log = open(scratch_root / f"shard{i}.log", "w+")
+        procs.append((i, first, size, cmd,
+                      subprocess.Popen(cmd, stdout=log, stderr=log), log))
+
+    failed = 0
+    for i, first, size, cmd, proc, log in procs:
+        try:
+            rc = proc.wait(timeout=args.timeout)
+        except subprocess.TimeoutExpired:
+            proc.kill()
+            proc.wait()
+            rc = -1
+            print(f"shard {i} TIMED OUT after {args.timeout}s: "
+                  f"{' '.join(cmd)}", file=sys.stderr)
+        log.seek(0)
+        tail = log.read().splitlines()[-20:]
+        log.close()
+        label = f"seeds {first}..{first + size - 1}"
+        if rc == 0:
+            print(f"shard {i} ({label}): OK")
+        else:
+            failed += 1
+            print(f"shard {i} ({label}): FAILED (exit {rc})",
+                  file=sys.stderr)
+            for line in tail:
+                print(f"  {line}", file=sys.stderr)
+
+    if failed:
+        print(f"fuzz_sweep: {failed} shard(s) failed; artifacts in "
+              f"{artifacts}", file=sys.stderr)
+        return 1
+    shutil.rmtree(scratch_root, ignore_errors=True)
+    total = args.seeds
+    print(f"fuzz_sweep: all {total} seeds passed "
+          f"({'quick' if args.quick else 'full'} profile)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

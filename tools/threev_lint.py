@@ -28,9 +28,10 @@ analysis can express, because they live above the type system:
                      each offset names the protocol fact it encodes.
 
   determinism        Simulation-driven code (core/ sim/ storage/ txn/ lock/
-                     verify/ workload/ baseline/) takes time only from
+                     verify/ workload/ baseline/ fuzz/) takes time only from
                      Network::Now() and randomness only from seeded Rng:
-                     ambient clocks and entropy there break SimNet replay.
+                     ambient clocks and entropy there break SimNet replay
+                     (and, for fuzz/, bit-reproducible seed schedules).
 
   capability         threev::Mutex (common/mutex.h) is the only lock type
                      in src/threev: raw std::mutex cannot carry a clang
@@ -341,7 +342,7 @@ def check_version_arith(files):
 # ---------------------------------------------------------------------------
 
 DETERMINISTIC_DIRS = ("core/", "sim/", "storage/", "txn/", "lock/",
-                      "verify/", "workload/", "baseline/")
+                      "verify/", "workload/", "baseline/", "fuzz/")
 
 NONDET_PATTERNS = [
     (re.compile(r"\bstd::random_device\b"), "std::random_device"),
@@ -692,6 +693,14 @@ void ThreadNet::TimerLoop() {
                        "Micros now = network_->Now();\n")
     expect("Network::Now in core", check_determinism([good_now]),
            "determinism", False)
+    bad_fuzz = _mkfile("src/threev/fuzz/fuzz.cc",
+                       "auto t = std::chrono::steady_clock::now();\n")
+    expect("ambient clock in fuzz subsystem", check_determinism([bad_fuzz]),
+           "determinism", True)
+    bad_fuzz_rng = _mkfile("src/threev/fuzz/plan.cc",
+                           "std::srand(42);\n")
+    expect("ambient randomness in fuzz subsystem",
+           check_determinism([bad_fuzz_rng]), "determinism", True)
 
     # --- capability discipline -------------------------------------------
     bad_mutex = _mkfile("src/threev/core/node.h", "std::mutex mu_;\n")
